@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks of the simulator's hot paths.
+//!
+//! These measure the *implementation* (the reproduction binaries measure
+//! the *system*): per-call cost of service-time estimation on both timing
+//! paths, scheduler decisions at realistic queue depths, logical→physical
+//! translation, and whole-engine request throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mimd_core::sched::{pick, LookState, Policy, Schedulable};
+use mimd_core::{ArraySim, EngineConfig, Layout, Shape};
+use mimd_disk::{
+    DiskParams, Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath,
+};
+use mimd_sim::{SimDuration, SimRng, SimTime};
+use mimd_workload::{IometerSpec, SyntheticSpec};
+
+struct Entry {
+    targets: Vec<Target>,
+    at: SimTime,
+}
+
+impl Schedulable for Entry {
+    fn candidates(&self) -> &[Target] {
+        &self.targets
+    }
+    fn is_write(&self) -> bool {
+        false
+    }
+    fn enqueued(&self) -> SimTime {
+        self.at
+    }
+}
+
+fn make_queue(n: usize, dr: u32, rng: &mut SimRng) -> Vec<Entry> {
+    (0..n)
+        .map(|i| Entry {
+            targets: (0..dr)
+                .map(|k| Target {
+                    cylinder: rng.below(3_000) as u32,
+                    surface: k,
+                    angle: rng.unit(),
+                    sectors: 8,
+                })
+                .collect(),
+            at: SimTime::from_micros(i as u64),
+        })
+        .collect()
+}
+
+fn bench_disk_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_estimate");
+    for (name, path) in [
+        ("detailed", TimingPath::Detailed),
+        ("analytic", TimingPath::Analytic),
+    ] {
+        let disk = SimDisk::new(
+            DiskParams::st39133lwv(),
+            path,
+            PositionKnowledge::Perfect,
+            1,
+        )
+        .expect("valid params");
+        let t = Target {
+            cylinder: 2_345,
+            surface: 7,
+            angle: 0.42,
+            sectors: 8,
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| disk.estimate(black_box(SimTime::from_micros(123)), black_box(&t), false))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_pick(c: &mut Criterion) {
+    let disk = SimDisk::new(
+        DiskParams::st39133lwv(),
+        TimingPath::Detailed,
+        PositionKnowledge::Perfect,
+        2,
+    )
+    .expect("valid params");
+    let mut rng = SimRng::seed_from(3);
+    let mut group = c.benchmark_group("scheduler_pick");
+    for depth in [8usize, 32, 128] {
+        let queue = make_queue(depth, 3, &mut rng);
+        for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy}"), depth),
+                &queue,
+                |b, q| {
+                    let mut look = LookState::default();
+                    b.iter(|| {
+                        pick(
+                            policy,
+                            &disk,
+                            black_box(SimTime::from_millis(5)),
+                            q,
+                            &mut look,
+                            SimDuration::ZERO,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_layout_translation(c: &mut Criterion) {
+    let g = Geometry::new(&DiskParams::st39133lwv());
+    let layout = Layout::new(
+        Shape::new(3, 2, 2).expect("valid"),
+        &g,
+        8_000_000,
+        128,
+        false,
+    )
+    .expect("fits");
+    let mut rng = SimRng::seed_from(4);
+    let lbns: Vec<u64> = (0..1024).map(|_| rng.below(7_900_000)).collect();
+    let mut i = 0;
+    c.bench_function("layout_read_candidates", |b| {
+        b.iter(|| {
+            i = (i + 1) % lbns.len();
+            let frag = layout.fragments(lbns[i], 16);
+            layout.read_candidates(black_box(frag[0]))
+        })
+    });
+}
+
+fn bench_seek_fit(c: &mut Criterion) {
+    let params = DiskParams::st39133lwv();
+    c.bench_function("seek_profile_fit", |b| {
+        b.iter(|| SeekProfile::fit(black_box(&params)).expect("fits"))
+    });
+}
+
+fn bench_engine_closed_loop(c: &mut Criterion) {
+    let data = 16_000_000u64;
+    let spec = IometerSpec::microbench(data, 1.0);
+    c.bench_function("engine_1k_requests_2x3", |b| {
+        b.iter(|| {
+            let mut sim = ArraySim::new(
+                EngineConfig::new(Shape::sr_array(2, 3).expect("valid")).with_perfect_knowledge(),
+                data,
+            )
+            .expect("fits");
+            sim.run_closed_loop(black_box(&spec), 16, 1_000).completed
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("generate_cello_1k", |b| {
+        let spec = SyntheticSpec::cello_base();
+        b.iter(|| spec.generate(black_box(9), 1_000).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_disk_estimate,
+    bench_scheduler_pick,
+    bench_layout_translation,
+    bench_seek_fit,
+    bench_engine_closed_loop,
+    bench_trace_generation,
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: the mirror read-dispatch heuristic of §3.3.
+//!
+//! The paper's heuristic sends a read to the closest *idle* owner, and when
+//! all owners are busy duplicates it into every drive queue, cancelling the
+//! losers once one disk starts it — trading a little queue bookkeeping for
+//! load balance and positioning choice. The baseline here is static
+//! assignment by block address.
+
+use mimd_bench::{print_table, sizes};
+use mimd_core::{ArraySim, EngineConfig, MirrorPolicy, Shape};
+use mimd_workload::IometerSpec;
+
+const DATA: u64 = 8_000_000;
+
+fn measure(shape: Shape, policy: MirrorPolicy, outstanding: usize) -> (f64, f64) {
+    let mut cfg = EngineConfig::new(shape).with_perfect_knowledge();
+    cfg.mirror_policy = policy;
+    let spec = IometerSpec::microbench(DATA, 1.0);
+    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
+    let r = sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS);
+    (r.throughput_iops(), r.mean_response_ms())
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, shape) in [
+        ("1x1x4 mirror", Shape::mirror(4)),
+        ("2x1x2 RAID-10", Shape::raid10(4).unwrap()),
+        ("1x2x2 SR-Mirror", Shape::new(1, 2, 2).unwrap()),
+    ] {
+        for outstanding in [4usize, 16] {
+            let (t_h, r_h) = measure(shape, MirrorPolicy::IdleOrDuplicate, outstanding);
+            let (t_s, r_s) = measure(shape, MirrorPolicy::Static, outstanding);
+            rows.push(vec![
+                label.to_string(),
+                outstanding.to_string(),
+                format!("{t_h:.0}"),
+                format!("{t_s:.0}"),
+                format!("{r_h:.2}"),
+                format!("{r_s:.2}"),
+                format!("{:.2}x", t_h / t_s),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation — mirror dispatch: idle-or-duplicate vs static (4 KiB reads)",
+        &[
+            "shape",
+            "outstanding",
+            "heuristic IO/s",
+            "static IO/s",
+            "heuristic ms",
+            "static ms",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("\nThe §3.3 heuristic should win on both throughput and latency,");
+    println!("most visibly at shallow queues where load imbalance idles disks.");
+}

@@ -1,0 +1,57 @@
+//! Ablation: the drive's track read-ahead buffer.
+//!
+//! The paper's experiments exercise mechanical positioning, so the
+//! simulator ships with drive read-ahead off. Period drives did buffer the
+//! track being read; this ablation shows what that changes — a large gain
+//! for sequential streams, immaterial for the random workloads the paper
+//! evaluates — confirming the default does not distort the reproduction.
+
+use mimd_bench::{print_table, sizes};
+use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_workload::IometerSpec;
+
+const DATA: u64 = 16_000_000;
+
+fn run(spec: &IometerSpec, read_ahead: bool, outstanding: usize) -> (f64, f64) {
+    let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap()).with_perfect_knowledge();
+    cfg.read_ahead = read_ahead;
+    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
+    let r = sim.run_closed_loop(spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS / 2);
+    let mb = r.completed as f64 * spec.sectors as f64 * 512.0 / 1e6 / r.sim_time.as_secs_f64();
+    (r.throughput_iops(), mb)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, spec, q) in [
+        ("random 4 KiB reads", IometerSpec::microbench(DATA, 1.0), 8),
+        ("random 512 B reads", IometerSpec::random_read_512(DATA), 8),
+        (
+            "sequential 64 KiB",
+            IometerSpec::sequential_read(DATA, 128),
+            4,
+        ),
+        ("sequential 4 KiB", IometerSpec::sequential_read(DATA, 8), 4),
+    ] {
+        let (iops_off, mb_off) = run(&spec, false, q);
+        let (iops_on, mb_on) = run(&spec, true, q);
+        rows.push(vec![
+            label.to_string(),
+            format!("{iops_off:.0}"),
+            format!("{iops_on:.0}"),
+            format!("{mb_off:.1}"),
+            format!("{mb_on:.1}"),
+            format!("{:.2}x", iops_on / iops_off),
+        ]);
+    }
+    print_table(
+        "Ablation — drive track read-ahead (2x3 SR-Array)",
+        &[
+            "workload", "IO/s off", "IO/s on", "MB/s off", "MB/s on", "gain",
+        ],
+        &rows,
+    );
+    println!("\nExpected: sequential streams gain heavily; the paper's random");
+    println!("workloads are unaffected, so leaving read-ahead off in the");
+    println!("reproduction does not bias any figure.");
+}

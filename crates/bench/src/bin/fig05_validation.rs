@@ -1,0 +1,60 @@
+//! Figure 5: cross-validation of the two timing implementations.
+//!
+//! The paper validates its integrated simulator against the hardware
+//! prototype with Iometer: 512-byte random requests on a 2×3 SR-Array under
+//! RSATF, one read-only workload and one 50/50 read/write workload with
+//! foreground propagation, sweeping the number of outstanding requests.
+//! The reported discrepancy is under 3 % at every queue depth.
+//!
+//! Without the original hardware, the same claim is exercised between this
+//! repository's two *independently coded* timing paths: the sector-accurate
+//! detailed path (the "prototype" role) and the continuous-angle analytic
+//! path (the "simulator" role).
+
+use mimd_bench::{print_table, sizes};
+use mimd_core::{ArraySim, EngineConfig, Shape, WriteMode};
+use mimd_disk::TimingPath;
+use mimd_workload::IometerSpec;
+
+fn throughput(timing: TimingPath, spec: &IometerSpec, outstanding: usize) -> f64 {
+    let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap())
+        .with_write_mode(WriteMode::Foreground)
+        .with_perfect_knowledge();
+    cfg.timing = timing;
+    let mut sim = ArraySim::new(cfg, spec.data_sectors).expect("2x3 fits");
+    sim.run_closed_loop(spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
+        .throughput_iops()
+}
+
+fn panel(name: &str, spec: &IometerSpec) -> f64 {
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    for outstanding in [1usize, 2, 4, 8, 16, 32, 64] {
+        let detailed = throughput(TimingPath::Detailed, spec, outstanding);
+        let analytic = throughput(TimingPath::Analytic, spec, outstanding);
+        let gap = (detailed - analytic).abs() / detailed * 100.0;
+        worst = worst.max(gap);
+        rows.push(vec![
+            outstanding.to_string(),
+            format!("{detailed:.0}"),
+            format!("{analytic:.0}"),
+            format!("{gap:.1}%"),
+        ]);
+    }
+    print_table(
+        &format!("Figure 5 — {name}: 2x3 SR-Array, RSATF, 512 B requests"),
+        &["outstanding", "detailed (IO/s)", "analytic (IO/s)", "gap"],
+        &rows,
+    );
+    worst
+}
+
+fn main() {
+    let data = 16_400_000u64;
+    let w1 = panel("random reads", &IometerSpec::random_read_512(data));
+    let w2 = panel(
+        "50/50 reads/writes (foreground propagation)",
+        &IometerSpec::mixed_512(data),
+    );
+    println!("\nWorst discrepancy: reads {w1:.1}%, mixed {w2:.1}% (paper: under 3% everywhere)");
+}

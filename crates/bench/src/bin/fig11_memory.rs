@@ -1,0 +1,157 @@
+//! Figure 11: memory caching versus adding disks.
+//!
+//! The paper compares two ways to spend money on the Cello base and TPC-C
+//! workloads: scale the SR-Array's disk count, or add an LRU memory cache
+//! in front of a smaller array (synchronous writes forced to disk in both
+//! cases). The break-even memory:disk price ratio `M` falls as the I/O
+//! rate rises, because diminishing cache locality and forced writes blunt
+//! memory while extra disks speed up *every* operation.
+
+use mimd_bench::{drive_character, print_table, run_trace, Workloads};
+use mimd_core::models::recommend_latency_shape;
+use mimd_core::{CacheConfig, EngineConfig, Shape};
+use mimd_sim::SimDuration;
+use mimd_workload::Trace;
+
+fn sr_curve(trace: &Trace, locality: f64, disks: &[u32]) -> Vec<(u32, f64)> {
+    let character = drive_character().with_locality(locality);
+    disks
+        .iter()
+        .map(|&d| {
+            let shape = recommend_latency_shape(&character, d, 1.0);
+            (
+                d,
+                run_trace(EngineConfig::new(shape), trace).mean_response_ms(),
+            )
+        })
+        .collect()
+}
+
+fn memory_curve(trace: &Trace, base: Shape, megabytes: &[u64]) -> Vec<(u64, f64)> {
+    megabytes
+        .iter()
+        .map(|&mb| {
+            let cfg = EngineConfig::new(base).with_cache(CacheConfig {
+                bytes: mb << 20,
+                hit_time: SimDuration::from_micros(100),
+            });
+            (mb, run_trace(cfg, trace).mean_response_ms())
+        })
+        .collect()
+}
+
+/// Memory (MB) needed to match a target response, by linear interpolation
+/// on the measured curve; `None` if the curve never reaches it.
+fn memory_to_match(curve: &[(u64, f64)], target_ms: f64) -> Option<f64> {
+    if let Some(&(mb, ms)) = curve.first() {
+        if ms <= target_ms {
+            // Even the smallest swept cache already matches the target.
+            return Some(mb as f64);
+        }
+    }
+    for w in curve.windows(2) {
+        let (m0, t0) = (w[0].0 as f64, w[0].1);
+        let (m1, t1) = (w[1].0 as f64, w[1].1);
+        if t0 >= target_ms && t1 <= target_ms {
+            let f = if (t0 - t1).abs() < 1e-9 {
+                0.0
+            } else {
+                (t0 - target_ms) / (t0 - t1)
+            };
+            return Some(m0 + f * (m1 - m0));
+        }
+    }
+    None
+}
+
+fn panel(
+    name: &str,
+    trace: &Trace,
+    locality: f64,
+    base_disks: u32,
+    disks: &[u32],
+    megabytes: &[u64],
+    scale: f64,
+) {
+    let t = trace.scaled(scale);
+    let sr = sr_curve(&t, locality, disks);
+    let base_shape =
+        recommend_latency_shape(&drive_character().with_locality(locality), base_disks, 1.0);
+    let mem = memory_curve(&t, base_shape, megabytes);
+
+    let rows: Vec<Vec<String>> = sr
+        .iter()
+        .map(|(d, ms)| vec![format!("{d} disks"), format!("{ms:.2}")])
+        .chain(
+            mem.iter()
+                .map(|(mb, ms)| vec![format!("{base_disks} disks + {mb} MB"), format!("{ms:.2}")]),
+        )
+        .collect();
+    print_table(
+        &format!("Figure 11 — {name} (scale x{scale}): mean response (ms)"),
+        &["configuration", "response"],
+        &rows,
+    );
+
+    // Break-even M (the paper's memory:disk price-per-MB ratio): extra
+    // disks cost `extra * P_disk`; the matching cache costs
+    // `mb * M * (P_disk / disk_MB)`. Equating gives
+    // `M* = extra * disk_MB / mb` — memory is cost-effective when the
+    // market M is below M*. (2000-era market M was ~57.)
+    let disk_mb = 9.1 * 1024.0;
+    for (d, target) in sr.iter().skip(1) {
+        if let Some(mb) = memory_to_match(&mem, *target) {
+            let extra_disks = (d - base_disks) as f64;
+            let break_even = extra_disks * disk_mb / mb.max(1.0);
+            println!(
+                "  matching {d}-disk response ({target:.2} ms) needs ~{mb:.0} MB of cache; \
+                 break-even M = {break_even:.0} (memory cost-effective below it)"
+            );
+        } else {
+            println!(
+                "  no cache size swept matches the {d}-disk response — adding disks wins outright"
+            );
+        }
+    }
+}
+
+fn main() {
+    let w = Workloads::generate();
+    println!("(paper reference prices: 256 MB memory $300, 18 GB disk $400 -> M = 57)");
+    panel(
+        "Cello base",
+        &w.cello_base,
+        4.14,
+        2,
+        &[2, 4, 6, 8],
+        &[32, 64, 128, 256, 512, 1024],
+        1.0,
+    );
+    panel(
+        "Cello base",
+        &w.cello_base,
+        4.14,
+        2,
+        &[2, 4, 6, 8],
+        &[32, 64, 128, 256, 512, 1024],
+        3.0,
+    );
+    panel(
+        "TPC-C",
+        &w.tpcc,
+        1.04,
+        12,
+        &[12, 18, 24, 36],
+        &[64, 128, 256, 512, 1024, 2048],
+        1.0,
+    );
+    panel(
+        "TPC-C",
+        &w.tpcc,
+        1.04,
+        12,
+        &[12, 18, 24, 36],
+        &[64, 128, 256, 512, 1024, 2048],
+        3.0,
+    );
+}

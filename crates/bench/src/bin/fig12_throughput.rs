@@ -1,0 +1,71 @@
+//! Figure 12: random-read throughput versus array size and queue depth.
+//!
+//! Iometer-style closed loop (4 KiB reads, seek-locality index 3) at 8 and
+//! 32 outstanding requests, from 2 to 12 disks: SR-Array under RSATF and
+//! RLOOK, striping and RAID-10 under SATF, plus the RLOOK throughput model
+//! (Equations (12)–(16)). The paper's claims: the SR-Array scales best;
+//! the model tracks the simulation, including the short-queue degradation
+//! of Equation (16); and the gap narrows at longer queues because SATF
+//! compensates for missing replicas when it can choose among many
+//! requests.
+
+use mimd_bench::{drive_character_4k, print_table, sizes};
+use mimd_core::models::{predict_throughput_iops, recommend_throughput_shape};
+use mimd_core::{ArraySim, EngineConfig, Policy, Shape};
+use mimd_workload::IometerSpec;
+
+const DATA_SECTORS: u64 = 16_400_000;
+const LOCALITY: f64 = 3.0;
+
+fn measure(shape: Shape, policy: Policy, outstanding: usize) -> f64 {
+    let cfg = EngineConfig::new(shape)
+        .with_policy(policy)
+        .with_perfect_knowledge();
+    let spec = IometerSpec::microbench(DATA_SECTORS, 1.0);
+    let mut sim = ArraySim::new(cfg, DATA_SECTORS).expect("shape fits");
+    sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
+        .throughput_iops()
+}
+
+fn panel(outstanding: usize) {
+    let character = drive_character_4k().with_locality(LOCALITY);
+    let mut rows = Vec::new();
+    for d in [2u32, 4, 6, 8, 12] {
+        let q = outstanding as f64;
+        let sr_shape = recommend_throughput_shape(&character, d, 1.0, q / d as f64);
+        let rsatf = measure(sr_shape, Policy::Rsatf, outstanding);
+        let rlook = measure(sr_shape, Policy::Rlook, outstanding);
+        let stripe = measure(Shape::striping(d), Policy::Satf, outstanding);
+        let raid10 = Shape::raid10(d).map(|s| measure(s, Policy::Satf, outstanding));
+        let model = predict_throughput_iops(&character, sr_shape.ds, sr_shape.dr, 1.0, q);
+        rows.push(vec![
+            d.to_string(),
+            sr_shape.to_string(),
+            format!("{rsatf:.0}"),
+            format!("{rlook:.0}"),
+            format!("{model:.0}"),
+            format!("{stripe:.0}"),
+            raid10
+                .map(|t| format!("{t:.0}"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print_table(
+        &format!("Figure 12 — random 4 KiB reads, {outstanding} outstanding (IO/s)"),
+        &[
+            "D",
+            "SR cfg",
+            "SR RSATF",
+            "SR RLOOK",
+            "RLOOK model",
+            "stripe SATF",
+            "RAID-10 SATF",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    panel(8);
+    panel(32);
+}

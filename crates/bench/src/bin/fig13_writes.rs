@@ -1,0 +1,118 @@
+//! Figure 13: throughput under foreground replica propagation.
+//!
+//! Six disks, mixed 4 KiB reads/writes with every write's replicas
+//! propagated synchronously, sweeping the write ratio at 8 and 32
+//! outstanding requests: a 3×2×1 SR-Array (RSATF and RLOOK), a 6×1×1
+//! stripe (SATF and LOOK), and a 3×1×2 RAID-10 (SATF), plus the RLOOK
+//! throughput model. The paper's expectations: RAID-10 degrades worst
+//! under writes (two seeks per propagation versus one seek plus in-cylinder
+//! replica walks); the SR-Array/stripe cross-over sits *below* the 50 %
+//! write ratio the pure rotational model suggests (the SR-Array also pays
+//! extra seek span), and sits further left under SATF/RSATF and longer
+//! queues.
+
+use mimd_bench::{drive_character_4k, print_table, sizes};
+use mimd_core::models::predict_throughput_iops;
+use mimd_core::{ArraySim, EngineConfig, Policy, Shape, WriteMode};
+use mimd_workload::IometerSpec;
+
+const DATA_SECTORS: u64 = 16_400_000;
+
+fn measure(shape: Shape, policy: Policy, outstanding: usize, write_frac: f64) -> f64 {
+    let cfg = EngineConfig::new(shape)
+        .with_policy(policy)
+        .with_write_mode(WriteMode::Foreground)
+        .with_perfect_knowledge();
+    let spec = IometerSpec::microbench(DATA_SECTORS, 1.0 - write_frac);
+    let mut sim = ArraySim::new(cfg, DATA_SECTORS).expect("shape fits");
+    sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
+        .throughput_iops()
+}
+
+fn crossover(series_a: &[(f64, f64)], series_b: &[(f64, f64)]) -> Option<f64> {
+    for i in 1..series_a.len() {
+        let d_prev = series_a[i - 1].1 - series_b[i - 1].1;
+        let d_cur = series_a[i].1 - series_b[i].1;
+        if d_prev >= 0.0 && d_cur < 0.0 {
+            let f = d_prev / (d_prev - d_cur);
+            return Some(series_a[i - 1].0 + f * (series_a[i].0 - series_a[i - 1].0));
+        }
+    }
+    None
+}
+
+fn panel(outstanding: usize) {
+    let sr = Shape::sr_array(3, 2).unwrap();
+    let stripe = Shape::striping(6);
+    let raid10 = Shape::raid10(6).unwrap();
+    let character = drive_character_4k().with_locality(3.0);
+
+    let mut rows = Vec::new();
+    let mut sr_rsatf_series = Vec::new();
+    let mut stripe_satf_series = Vec::new();
+    let mut sr_rlook_series = Vec::new();
+    let mut stripe_look_series = Vec::new();
+    for pct in (0..=100).step_by(10) {
+        let wf = pct as f64 / 100.0;
+        let p = 1.0 - wf;
+        let sr_rsatf = measure(sr, Policy::Rsatf, outstanding, wf);
+        let sr_rlook = measure(sr, Policy::Rlook, outstanding, wf);
+        let st_satf = measure(stripe, Policy::Satf, outstanding, wf);
+        let st_look = measure(stripe, Policy::Look, outstanding, wf);
+        let r10 = measure(raid10, Policy::Satf, outstanding, wf);
+        let model = if p > 0.5 {
+            predict_throughput_iops(&character, sr.ds, sr.dr, p, outstanding as f64)
+        } else {
+            f64::NAN
+        };
+        sr_rsatf_series.push((wf, sr_rsatf));
+        stripe_satf_series.push((wf, st_satf));
+        sr_rlook_series.push((wf, sr_rlook));
+        stripe_look_series.push((wf, st_look));
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{sr_rsatf:.0}"),
+            format!("{sr_rlook:.0}"),
+            if model.is_nan() {
+                "-".into()
+            } else {
+                format!("{model:.0}")
+            },
+            format!("{st_satf:.0}"),
+            format!("{st_look:.0}"),
+            format!("{r10:.0}"),
+        ]);
+    }
+    print_table(
+        &format!("Figure 13 — foreground writes, {outstanding} outstanding (IO/s)"),
+        &[
+            "write%",
+            "3x2x1 RSATF",
+            "3x2x1 RLOOK",
+            "model",
+            "6x1x1 SATF",
+            "6x1x1 LOOK",
+            "3x1x2 SATF",
+        ],
+        &rows,
+    );
+    match crossover(&sr_rsatf_series, &stripe_satf_series) {
+        Some(x) => println!(
+            "  RSATF/SATF cross-over at {:.0}% writes (paper: left of 50%)",
+            x * 100.0
+        ),
+        None => println!("  RSATF/SATF: no cross-over in range"),
+    }
+    match crossover(&sr_rlook_series, &stripe_look_series) {
+        Some(x) => println!(
+            "  RLOOK/LOOK cross-over at {:.0}% writes (paper: near but below 50%)",
+            x * 100.0
+        ),
+        None => println!("  RLOOK/LOOK: no cross-over in range"),
+    }
+}
+
+fn main() {
+    panel(8);
+    panel(32);
+}

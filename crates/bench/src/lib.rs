@@ -1,0 +1,139 @@
+//! Shared plumbing for the paper-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index). This library holds what they
+//! share: canonical workload construction, run helpers, and plain-text
+//! series printing so the output reads like the paper's figures.
+
+use mimd_core::models::DiskCharacter;
+use mimd_core::{ArraySim, EngineConfig, RunReport, Shape};
+use mimd_disk::DiskParams;
+use mimd_workload::{SyntheticSpec, Trace};
+
+/// Canonical request counts, sized so every binary finishes in seconds
+/// while staying deep in steady state.
+pub mod sizes {
+    /// Requests per open-loop trace replay.
+    pub const TRACE_REQUESTS: usize = 20_000;
+    /// Completions per closed-loop measurement.
+    pub const CLOSED_LOOP_COMPLETIONS: u64 = 10_000;
+}
+
+/// The three paper workloads at canonical sizes (deterministic seeds).
+pub struct Workloads {
+    /// Cello minus the news disk.
+    pub cello_base: Trace,
+    /// The news disk.
+    pub cello_disk6: Trace,
+    /// The TPC-C disk trace.
+    pub tpcc: Trace,
+}
+
+impl Workloads {
+    /// Generates all three traces.
+    pub fn generate() -> Workloads {
+        Workloads {
+            cello_base: SyntheticSpec::cello_base().generate(101, sizes::TRACE_REQUESTS),
+            cello_disk6: SyntheticSpec::cello_disk6().generate(102, sizes::TRACE_REQUESTS),
+            tpcc: SyntheticSpec::tpcc().generate(103, sizes::TRACE_REQUESTS),
+        }
+    }
+}
+
+/// The model-facing characteristics of the experiment drive.
+pub fn drive_character() -> DiskCharacter {
+    DiskCharacter::from_params(&DiskParams::st39133lwv())
+}
+
+/// Drive characteristics with a 4 KiB transfer folded into `To` (the
+/// micro-benchmark request size).
+pub fn drive_character_4k() -> DiskCharacter {
+    let p = DiskParams::st39133lwv();
+    DiskCharacter::from_params(&p).with_transfer(8, &p)
+}
+
+/// Runs a trace on a fresh array and returns the report.
+///
+/// # Panics
+///
+/// Panics if the layout is infeasible (the experiment chose a bad shape).
+pub fn run_trace(cfg: EngineConfig, trace: &Trace) -> RunReport {
+    let mut sim =
+        ArraySim::new(cfg, trace.data_sectors).expect("experiment shape must fit the data set");
+    sim.run_trace(trace)
+}
+
+/// Pretty-prints one experiment table: a header and aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Formats a shape plus its conventional family name, e.g. `2x3x1 (SR-Array)`.
+pub fn shape_label(shape: Shape) -> String {
+    format!("{shape} ({})", shape.kind())
+}
+
+/// Formats milliseconds to two decimals.
+pub fn ms(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a dimensionless ratio to two decimals with an `x` suffix.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_generate_canonical_sizes() {
+        let w = Workloads::generate();
+        assert_eq!(w.cello_base.len(), sizes::TRACE_REQUESTS);
+        assert_eq!(w.tpcc.len(), sizes::TRACE_REQUESTS);
+        assert_eq!(w.cello_disk6.len(), sizes::TRACE_REQUESTS);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(1.234), "1.23");
+        assert_eq!(ratio(3.0, 2.0), "1.50x");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert!(shape_label(Shape::striping(6)).contains("striping"));
+    }
+
+    #[test]
+    fn run_trace_smoke() {
+        let trace = SyntheticSpec::cello_base().generate(1, 100);
+        let r = run_trace(EngineConfig::new(Shape::striping(2)), &trace);
+        assert_eq!(r.completed, 100);
+    }
+}

@@ -1,0 +1,146 @@
+//! Run results: the numbers every experiment binary prints.
+
+use mimd_sim::{demerit, OnlineStats, SampleSet, SimDuration};
+
+/// Prediction-accuracy statistics (the rows of Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct PredictionStats {
+    /// Physical requests whose rotational prediction missed and paid a full
+    /// extra revolution.
+    pub misses: u64,
+    /// Physical requests measured.
+    pub requests: u64,
+    /// Signed prediction error samples in microseconds
+    /// (actual − predicted access time).
+    pub error: OnlineStats,
+    /// Predicted access times (µs).
+    pub predicted_us: SampleSet,
+    /// Measured access times (µs).
+    pub actual_us: SampleSet,
+}
+
+impl PredictionStats {
+    /// Miss rate over all measured physical requests.
+    pub fn miss_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.requests as f64
+        }
+    }
+
+    /// The Ruemmler–Wilkes demerit figure between predicted and measured
+    /// access-time distributions, in microseconds.
+    pub fn demerit_us(&mut self) -> f64 {
+        demerit(&mut self.predicted_us, &mut self.actual_us)
+    }
+
+    /// Mean measured access time in microseconds.
+    pub fn avg_access_us(&self) -> f64 {
+        self.actual_us.mean()
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Logical requests completed.
+    pub completed: u64,
+    /// Instant of the last visible completion.
+    pub sim_time: SimDuration,
+    /// Response times of latency-visible requests (ms).
+    pub response_ms: OnlineStats,
+    /// Response-time samples (ms) for percentiles.
+    pub response_samples_ms: SampleSet,
+    /// Read responses (ms).
+    pub read_ms: OnlineStats,
+    /// Synchronous-write responses (ms).
+    pub write_ms: OnlineStats,
+    /// Physical disk operations issued (including delayed propagation).
+    pub phys_requests: u64,
+    /// Delayed replica writes propagated in the background.
+    pub delayed_propagated: u64,
+    /// Delayed writes coalesced away by newer writes to the same block.
+    pub delayed_coalesced: u64,
+    /// Peak NVRAM delayed-write table occupancy.
+    pub nvram_peak: usize,
+    /// Cache hits (when a memory cache is configured).
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Requests that lost every copy to disk failures.
+    pub failed_requests: u64,
+    /// Head-position prediction accuracy.
+    pub prediction: PredictionStats,
+    /// Seek component of foreground physical operations (ms).
+    pub seek_ms: OnlineStats,
+    /// Rotational component of foreground physical operations (ms).
+    pub rotation_ms: OnlineStats,
+    /// Transfer component of foreground physical operations (ms).
+    pub transfer_ms: OnlineStats,
+    /// Queueing delay between enqueue and service start (ms).
+    pub queue_wait_ms: OnlineStats,
+}
+
+impl RunReport {
+    /// Mean visible response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response_ms.mean()
+    }
+
+    /// Completed requests per second of simulated time.
+    pub fn throughput_iops(&self) -> f64 {
+        let secs = self.sim_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// The p-th response-time percentile in milliseconds.
+    pub fn response_percentile_ms(&mut self, p: f64) -> Option<f64> {
+        self.response_samples_ms.percentile(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let mut r = RunReport::default();
+        assert_eq!(r.mean_response_ms(), 0.0);
+        assert_eq!(r.throughput_iops(), 0.0);
+        assert_eq!(r.response_percentile_ms(0.5), None);
+        assert_eq!(r.prediction.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn throughput_divides_by_time() {
+        let r = RunReport {
+            completed: 500,
+            sim_time: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        assert!((r.throughput_iops() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_stats_aggregate() {
+        let mut p = PredictionStats::default();
+        for i in 0..100 {
+            p.requests += 1;
+            p.error.push(3.0);
+            p.predicted_us.push(1_000.0 + i as f64);
+            p.actual_us.push(1_003.0 + i as f64);
+        }
+        p.misses = 1;
+        assert!((p.miss_rate() - 0.01).abs() < 1e-12);
+        assert!((p.error.mean() - 3.0).abs() < 1e-12);
+        let d = p.demerit_us();
+        assert!((d - 3.0).abs() < 1e-9, "demerit {d}");
+        assert!((p.avg_access_us() - 1_052.5).abs() < 1e-9);
+    }
+}

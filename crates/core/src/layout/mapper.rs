@@ -1,0 +1,238 @@
+//! Per-disk data placement with rotational replication.
+//!
+//! On each disk, surfaces are grouped in runs of `Dr`: group `g` spans
+//! surfaces `g·Dr .. g·Dr + Dr`, and the `Dr` tracks of a group hold `Dr`
+//! *copies* of the same track's worth of data, staggered `1/Dr` of a
+//! revolution apart. Replicas therefore live "on different tracks ...
+//! within a cylinder of a single disk" (§2.2, Figure 2(c)), so large
+//! transfers never shorten the effective track, and a foreground write can
+//! walk the copies with track switches (§4.1's 900 µs switch budget).
+//!
+//! Data fills cylinders from the outer edge; a data set occupying `1/Ds`
+//! of a disk therefore spans the outermost `1/Ds` of its cylinders, which
+//! is what bounds the seek distance in an SR-Array.
+
+use mimd_disk::Geometry;
+
+/// Location of a data sector on a disk, in replica-group terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackLoc {
+    /// Cylinder holding the group.
+    pub cylinder: u32,
+    /// Replica-group index within the cylinder.
+    pub group: u32,
+    /// Sector offset within the group's track.
+    pub sector: u32,
+    /// Sectors per track at this cylinder.
+    pub spt: u32,
+}
+
+#[derive(Debug, Clone)]
+struct MapZone {
+    first_data_sector: u64,
+    first_cylinder: u32,
+    cylinders: u32,
+    spt: u32,
+}
+
+/// Maps a disk's linear data space onto replica groups.
+#[derive(Debug, Clone)]
+pub struct DataMapper {
+    zones: Vec<MapZone>,
+    groups_per_cylinder: u32,
+    dr: u32,
+    capacity: u64,
+}
+
+impl DataMapper {
+    /// Builds a mapper for `dr`-way rotational replication on a disk with
+    /// the given geometry.
+    ///
+    /// Returns `None` if `dr` is zero or exceeds the surface count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mimd_core::layout::DataMapper;
+    /// use mimd_disk::{DiskParams, Geometry};
+    ///
+    /// let g = Geometry::new(&DiskParams::st39133lwv());
+    /// let m = DataMapper::new(&g, 3).unwrap();
+    /// // Three replicas divide the drive's data capacity by at least 3.
+    /// assert!(m.capacity() <= g.total_sectors() / 3);
+    /// ```
+    pub fn new(geometry: &Geometry, dr: u32) -> Option<Self> {
+        if dr == 0 || dr > geometry.surfaces() {
+            return None;
+        }
+        let groups = geometry.surfaces() / dr;
+        let mut zones = Vec::new();
+        let mut acc = 0u64;
+        for z in geometry.zone_table() {
+            zones.push(MapZone {
+                first_data_sector: acc,
+                first_cylinder: z.first_cylinder,
+                cylinders: z.cylinders,
+                spt: z.sectors_per_track,
+            });
+            acc += z.cylinders as u64 * groups as u64 * z.sectors_per_track as u64;
+        }
+        Some(DataMapper {
+            zones,
+            groups_per_cylinder: groups,
+            dr,
+            capacity: acc,
+        })
+    }
+
+    /// Replication degree.
+    pub fn dr(&self) -> u32 {
+        self.dr
+    }
+
+    /// Replica groups per cylinder.
+    pub fn groups_per_cylinder(&self) -> u32 {
+        self.groups_per_cylinder
+    }
+
+    /// Unique data sectors this disk can hold at this replication degree.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Locates a data sector; `None` beyond capacity.
+    pub fn locate(&self, data_sector: u64) -> Option<TrackLoc> {
+        if data_sector >= self.capacity {
+            return None;
+        }
+        let idx = self
+            .zones
+            .partition_point(|z| {
+                z.first_data_sector
+                    + z.cylinders as u64 * self.groups_per_cylinder as u64 * z.spt as u64
+                    <= data_sector
+            })
+            .min(self.zones.len() - 1);
+        let z = &self.zones[idx];
+        let rel = data_sector - z.first_data_sector;
+        let per_cyl = self.groups_per_cylinder as u64 * z.spt as u64;
+        let cyl_rel = (rel / per_cyl) as u32;
+        let in_cyl = rel % per_cyl;
+        Some(TrackLoc {
+            cylinder: z.first_cylinder + cyl_rel,
+            group: (in_cyl / z.spt as u64) as u32,
+            sector: (in_cyl % z.spt as u64) as u32,
+            spt: z.spt,
+        })
+    }
+
+    /// Number of cylinders a contiguous prefix of `data_sectors` occupies
+    /// (the seek span of the layout).
+    pub fn span_cylinders(&self, data_sectors: u64) -> u32 {
+        if data_sectors == 0 {
+            return 0;
+        }
+        match self.locate(data_sectors - 1) {
+            Some(loc) => loc.cylinder + 1,
+            None => self
+                .zones
+                .last()
+                .map(|z| z.first_cylinder + z.cylinders)
+                .unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_disk::DiskParams;
+
+    fn geom() -> Geometry {
+        Geometry::new(&DiskParams::st39133lwv())
+    }
+
+    #[test]
+    fn rejects_bad_replication_degrees() {
+        let g = geom();
+        assert!(DataMapper::new(&g, 0).is_none());
+        assert!(DataMapper::new(&g, 13).is_none());
+        assert!(DataMapper::new(&g, 12).is_some());
+    }
+
+    #[test]
+    fn capacity_scales_inversely_with_dr() {
+        let g = geom();
+        let c1 = DataMapper::new(&g, 1).unwrap().capacity();
+        let c2 = DataMapper::new(&g, 2).unwrap().capacity();
+        let c3 = DataMapper::new(&g, 3).unwrap().capacity();
+        assert_eq!(c1, g.total_sectors());
+        assert_eq!(c2, c1 / 2);
+        assert_eq!(c3, c1 / 3);
+        // Dr = 5 wastes 2 of 12 surfaces: only 2 groups fit per cylinder,
+        // so capacity is c1/6, strictly worse than the c1/5 a divisor of
+        // the surface count would give.
+        let c5 = DataMapper::new(&g, 5).unwrap().capacity();
+        assert!(c5 < c1 / 5);
+        assert_eq!(c5, c1 / 6);
+    }
+
+    #[test]
+    fn locate_walks_groups_then_cylinders() {
+        let g = geom();
+        let m = DataMapper::new(&g, 3).unwrap();
+        let spt = 248; // Outermost zone.
+        let a = m.locate(0).unwrap();
+        assert_eq!((a.cylinder, a.group, a.sector), (0, 0, 0));
+        let b = m.locate(spt as u64 - 1).unwrap();
+        assert_eq!((b.cylinder, b.group, b.sector), (0, 0, spt - 1));
+        let c = m.locate(spt as u64).unwrap();
+        assert_eq!((c.cylinder, c.group, c.sector), (0, 1, 0));
+        // 4 groups of 3 surfaces each; the 5th track starts cylinder 1.
+        let d = m.locate(4 * spt as u64).unwrap();
+        assert_eq!((d.cylinder, d.group, d.sector), (1, 0, 0));
+    }
+
+    #[test]
+    fn locate_handles_zone_boundaries() {
+        let g = geom();
+        let m = DataMapper::new(&g, 2).unwrap();
+        // End of zone 0 data space: 633 cylinders x 6 groups x 248 spt.
+        let z0 = 633u64 * 6 * 248;
+        let last = m.locate(z0 - 1).unwrap();
+        assert_eq!(last.cylinder, 632);
+        assert_eq!(last.spt, 248);
+        let first = m.locate(z0).unwrap();
+        assert_eq!(first.cylinder, 633);
+        assert_eq!(first.spt, 241);
+        assert_eq!((first.group, first.sector), (0, 0));
+    }
+
+    #[test]
+    fn locate_rejects_beyond_capacity() {
+        let g = geom();
+        let m = DataMapper::new(&g, 6).unwrap();
+        assert!(m.locate(m.capacity()).is_none());
+        assert!(m.locate(m.capacity() - 1).is_some());
+    }
+
+    #[test]
+    fn span_grows_with_data_and_dr() {
+        let g = geom();
+        let m1 = DataMapper::new(&g, 1).unwrap();
+        let m3 = DataMapper::new(&g, 3).unwrap();
+        let data = 1_000_000u64;
+        // Triple replication spreads the same data over ~3x the cylinders.
+        let s1 = m1.span_cylinders(data);
+        let s3 = m3.span_cylinders(data);
+        assert!(s3 > s1 * 2 && s3 < s1 * 4, "spans {s1} vs {s3}");
+        assert_eq!(m1.span_cylinders(0), 0);
+    }
+
+    #[test]
+    fn full_capacity_spans_all_cylinders() {
+        let g = geom();
+        let m = DataMapper::new(&g, 4).unwrap();
+        assert_eq!(m.span_cylinders(m.capacity()), g.total_cylinders());
+    }
+}

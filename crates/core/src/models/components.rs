@@ -1,0 +1,91 @@
+//! Seek-distance and rotational-delay components (§2.1, §2.2).
+//!
+//! Equations (1) through (3), plus the §2.1 closed forms for single-disk
+//! and mirrored seek averages. All functions take times in milliseconds and
+//! return milliseconds.
+
+/// Average seek of a single disk under uniform access: `S / 3` (§2.1,
+/// following Teorey & Pinkerton).
+pub fn single_disk_avg_seek(s: f64) -> f64 {
+    s / 3.0
+}
+
+/// Average seek of a `D`-way mirror: `S / (2D + 1)` — the expected minimum
+/// of `D` independent head distances (§2.1, Bitton & Gray).
+pub fn mirror_avg_seek(s: f64, d: u32) -> f64 {
+    s / (2.0 * d as f64 + 1.0)
+}
+
+/// Equation (1): average seek of a `Ds`-way stripe, `S / (3 Ds)` (Matloff).
+pub fn stripe_avg_seek(s: f64, ds: u32) -> f64 {
+    s / (3.0 * ds as f64)
+}
+
+/// Equation (2): average read rotational delay with `Dr` evenly spaced
+/// replicas, `R / (2 Dr)`.
+pub fn rot_read_even(r: f64, dr: u32) -> f64 {
+    r / (2.0 * dr as f64)
+}
+
+/// Average read rotational delay with `Dr` *randomly placed* replicas,
+/// `R / (Dr + 1)` — strictly worse than even spacing, hence unused in the
+/// design (§2.2).
+pub fn rot_read_random(r: f64, dr: u32) -> f64 {
+    r / (dr as f64 + 1.0)
+}
+
+/// Equation (3): average rotational cost of writing all `Dr` replicas in
+/// the foreground, `R - R / (2 Dr)`.
+pub fn rot_write_all(r: f64, dr: u32) -> f64 {
+    r - r / (2.0 * dr as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: f64 = 15.6;
+    const R: f64 = 6.0;
+
+    #[test]
+    fn base_cases_with_one_disk() {
+        assert_eq!(stripe_avg_seek(S, 1), single_disk_avg_seek(S));
+        assert_eq!(rot_read_even(R, 1), R / 2.0);
+        assert_eq!(rot_read_random(R, 1), R / 2.0);
+        assert_eq!(rot_write_all(R, 1), R / 2.0);
+        assert!((mirror_avg_seek(S, 1) - S / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn striping_beats_mirroring_for_seek() {
+        // §2.1: "The amount of seek reduction achieved by striping is
+        // better than that of D-way mirroring".
+        for d in 2..=16 {
+            assert!(stripe_avg_seek(S, d) < mirror_avg_seek(S, d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn even_spacing_beats_random_placement() {
+        for dr in 2..=8 {
+            assert!(rot_read_even(R, dr) < rot_read_random(R, dr), "dr={dr}");
+        }
+    }
+
+    #[test]
+    fn read_plus_write_rotation_is_a_full_revolution() {
+        // §2.2: "Notice that Rr(D) + Rw(D) = R."
+        for dr in 1..=8 {
+            let sum = rot_read_even(R, dr) + rot_write_all(R, dr);
+            assert!((sum - R).abs() < 1e-12, "dr={dr}");
+        }
+    }
+
+    #[test]
+    fn replication_monotonically_helps_reads_hurts_writes() {
+        for dr in 1..8 {
+            assert!(rot_read_even(R, dr + 1) < rot_read_even(R, dr));
+            assert!(rot_write_all(R, dr + 1) > rot_write_all(R, dr));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! SR-Array latency models (§2.3), Equations (4) through (11).
+
+use super::components::{rot_read_even, rot_write_all, stripe_avg_seek};
+use super::DiskCharacter;
+
+/// Equation (4): overhead-independent random *read* latency of a
+/// `Ds × Dr` SR-Array, `S/(3 Ds) + R/(2 Dr)`.
+pub fn read_latency(c: &DiskCharacter, ds: u32, dr: u32) -> f64 {
+    stripe_avg_seek(c.s_ms, ds) + rot_read_even(c.r_ms, dr)
+}
+
+/// Equation (5): the continuous-optimum aspect ratio for reads under low
+/// load, `(Ds, Dr) = (sqrt(2S/(3R) · D), sqrt(3R/(2S) · D))`.
+pub fn optimal_read_aspect(c: &DiskCharacter, d: u32) -> (f64, f64) {
+    let d = d as f64;
+    let ds = (2.0 * c.s_ms / (3.0 * c.r_ms) * d).sqrt();
+    let dr = (3.0 * c.r_ms / (2.0 * c.s_ms) * d).sqrt();
+    (ds, dr)
+}
+
+/// Equation (6): best overhead-independent read latency,
+/// `sqrt(2SR/(3D))`.
+pub fn best_read_latency(c: &DiskCharacter, d: u32) -> f64 {
+    (2.0 * c.s_ms * c.r_ms / (3.0 * d as f64)).sqrt()
+}
+
+/// Equation (7): worst-case write latency with foreground propagation,
+/// `S/(3 Ds) + R - R/(2 Dr)`.
+pub fn write_latency(c: &DiskCharacter, ds: u32, dr: u32) -> f64 {
+    stripe_avg_seek(c.s_ms, ds) + rot_write_all(c.r_ms, dr)
+}
+
+/// Equation (9): average read/write latency,
+/// `S/(3 Ds) + p·R/(2 Dr) + (1-p)(R - R/(2 Dr))`,
+/// where `p` is Equation (8)'s fraction of operations that do *not* force
+/// foreground replica propagation.
+pub fn rw_latency(c: &DiskCharacter, ds: u32, dr: u32, p: f64) -> f64 {
+    stripe_avg_seek(c.s_ms, ds)
+        + p * rot_read_even(c.r_ms, dr)
+        + (1.0 - p) * rot_write_all(c.r_ms, dr)
+}
+
+/// Equation (10): continuous-optimum aspect ratio for mixed traffic.
+///
+/// Returns `None` when `p <= 0.5`: "A p ratio under 50 % precludes
+/// rotational replication and pure striping provides the best
+/// configuration" (§2.3).
+pub fn optimal_rw_aspect(c: &DiskCharacter, d: u32, p: f64) -> Option<(f64, f64)> {
+    if p <= 0.5 {
+        return None;
+    }
+    let d = d as f64;
+    let k = 2.0 * p - 1.0;
+    let ds = (2.0 * c.s_ms / (3.0 * c.r_ms * k) * d).sqrt();
+    let dr = (3.0 * c.r_ms * k / (2.0 * c.s_ms) * d).sqrt();
+    Some((ds, dr))
+}
+
+/// Equation (11): best mixed latency,
+/// `sqrt(2SR(2p-1)/(3D)) + (1-p)R` (for `p > 0.5`).
+pub fn best_rw_latency(c: &DiskCharacter, d: u32, p: f64) -> Option<f64> {
+    if p <= 0.5 {
+        return None;
+    }
+    let k = 2.0 * p - 1.0;
+    Some((2.0 * c.s_ms * c.r_ms * k / (3.0 * d as f64)).sqrt() + (1.0 - p) * c.r_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr() -> DiskCharacter {
+        DiskCharacter {
+            s_ms: 15.6,
+            r_ms: 6.0,
+            overhead_ms: 2.0,
+        }
+    }
+
+    #[test]
+    fn eq4_components_add() {
+        let c = chr();
+        let t = read_latency(&c, 2, 3);
+        assert!((t - (15.6 / 6.0 + 6.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_product_is_d_and_minimizes_eq4() {
+        let c = chr();
+        for d in [4u32, 6, 9, 12, 36] {
+            let (ds, dr) = optimal_read_aspect(&c, d);
+            assert!((ds * dr - d as f64).abs() < 1e-9, "product at d={d}");
+            // The continuous optimum beats nearby aspect ratios.
+            let t_opt = c.s_ms / (3.0 * ds) + c.r_ms / (2.0 * dr);
+            for scale in [0.8, 1.25] {
+                let ds2 = ds * scale;
+                let dr2 = d as f64 / ds2;
+                let t2 = c.s_ms / (3.0 * ds2) + c.r_ms / (2.0 * dr2);
+                assert!(t_opt <= t2 + 1e-9, "d={d} scale={scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq6_matches_eq4_at_optimum() {
+        let c = chr();
+        let d = 24;
+        let (ds, dr) = optimal_read_aspect(&c, d);
+        let direct = c.s_ms / (3.0 * ds) + c.r_ms / (2.0 * dr);
+        assert!((direct - best_read_latency(&c, d)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sqrt_d_scaling_rule_of_thumb() {
+        // §2.6: "By using D disks, we can improve the overhead-independent
+        // part of response time by a factor of sqrt(D)."
+        let c = chr();
+        let t1 = best_read_latency(&c, 1);
+        let t4 = best_read_latency(&c, 4);
+        let t16 = best_read_latency(&c, 16);
+        assert!((t1 / t4 - 2.0).abs() < 1e-9);
+        assert!((t1 / t16 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq9_reduces_to_eq4_and_eq7_at_extremes() {
+        let c = chr();
+        assert!((rw_latency(&c, 2, 3, 1.0) - read_latency(&c, 2, 3)).abs() < 1e-12);
+        assert!((rw_latency(&c, 2, 3, 0.0) - write_latency(&c, 2, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq9_is_independent_of_dr_at_p_half() {
+        // §2.2: "If reads and writes are equally frequent, varying D will
+        // not change the average overall latency."
+        let c = chr();
+        let t1 = rw_latency(&c, 2, 1, 0.5);
+        let t3 = rw_latency(&c, 2, 3, 0.5);
+        let t6 = rw_latency(&c, 2, 6, 0.5);
+        assert!((t1 - t3).abs() < 1e-12);
+        assert!((t3 - t6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_p_precludes_replication() {
+        let c = chr();
+        assert!(optimal_rw_aspect(&c, 6, 0.5).is_none());
+        assert!(optimal_rw_aspect(&c, 6, 0.3).is_none());
+        assert!(best_rw_latency(&c, 6, 0.4).is_none());
+        assert!(optimal_rw_aspect(&c, 6, 0.9).is_some());
+    }
+
+    #[test]
+    fn eq10_matches_eq5_at_p_one() {
+        let c = chr();
+        let (ds_a, dr_a) = optimal_read_aspect(&c, 12);
+        let (ds_b, dr_b) = optimal_rw_aspect(&c, 12, 1.0).unwrap();
+        assert!((ds_a - ds_b).abs() < 1e-12);
+        assert!((dr_a - dr_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq11_matches_eq9_at_its_optimum() {
+        let c = chr();
+        let p = 0.8;
+        let d = 18;
+        let (ds, dr) = optimal_rw_aspect(&c, d, p).unwrap();
+        let direct = c.s_ms / (3.0 * ds)
+            + p * c.r_ms / (2.0 * dr)
+            + (1.0 - p) * (c.r_ms - c.r_ms / (2.0 * dr));
+        assert!((direct - best_rw_latency(&c, d, p).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_spindles_want_more_replication() {
+        // §2.3: "Disks with slow rotational speed (large R) demand a higher
+        // degree of rotational replication."
+        let fast = chr();
+        let slow = DiskCharacter { r_ms: 8.33, ..fast };
+        let (_, dr_fast) = optimal_read_aspect(&fast, 12);
+        let (_, dr_slow) = optimal_read_aspect(&slow, 12);
+        assert!(dr_slow > dr_fast);
+    }
+
+    #[test]
+    fn poor_seeks_want_more_striping() {
+        let base = chr();
+        let seeky = DiskCharacter {
+            s_ms: base.s_ms * 2.0,
+            ..base
+        };
+        let (ds_base, _) = optimal_read_aspect(&base, 12);
+        let (ds_seeky, _) = optimal_read_aspect(&seeky, 12);
+        assert!(ds_seeky > ds_base);
+    }
+
+    #[test]
+    fn locality_shrinks_the_seek_term() {
+        let c = chr();
+        let local = c.with_locality(4.14);
+        assert!(read_latency(&local, 2, 3) < read_latency(&c, 2, 3));
+        // And shifts the optimum toward rotational replication.
+        let (_, dr_c) = optimal_read_aspect(&c, 6);
+        let (_, dr_l) = optimal_read_aspect(&local, 6);
+        assert!(dr_l > dr_c);
+    }
+}

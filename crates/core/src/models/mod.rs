@@ -1,0 +1,85 @@
+//! The paper's analytical models (Section 2), Equations (1) through (16).
+//!
+//! All equations work in milliseconds and take the two disk characteristics
+//! the paper names:
+//!
+//! - `S` — the maximum (full-stroke) seek time, under the model assumption
+//!   that seek time is linear in distance, so a uniformly random seek
+//!   averages `S / 3`. (This choice — rather than `3 × avg_seek` — is what
+//!   reproduces the paper's §4.1 continuous optima: `Dr* = 5.8` for Cello
+//!   base and `11.6` for Cello disk 6 at nine disks.)
+//! - `R` — the full-rotation time.
+//!
+//! Workload characteristics: `p` (Equation 8's background-fraction ratio),
+//! `q` (per-disk queue length), and `L` (Table 3's seek-locality index,
+//! which divides the seek term: "we account for the different degree of
+//! seek locality (L) by replacing S with S/L", §4.1).
+
+pub mod components;
+pub mod latency;
+pub mod optimizer;
+pub mod throughput;
+
+pub use components::*;
+pub use latency::*;
+pub use optimizer::*;
+pub use throughput::*;
+
+use mimd_disk::DiskParams;
+
+/// Disk characteristics in model terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskCharacter {
+    /// Effective maximum seek time `S` in ms (three times the average).
+    pub s_ms: f64,
+    /// Full rotation time `R` in ms.
+    pub r_ms: f64,
+    /// Per-request overhead `To` in ms (Equation 15).
+    pub overhead_ms: f64,
+}
+
+impl DiskCharacter {
+    /// Derives model characteristics from drive parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mimd_core::models::DiskCharacter;
+    /// use mimd_disk::DiskParams;
+    ///
+    /// let c = DiskCharacter::from_params(&DiskParams::st39133lwv());
+    /// assert!((c.r_ms - 6.0).abs() < 1e-9);
+    /// assert!((c.s_ms - 10.5).abs() < 1e-9);
+    /// ```
+    pub fn from_params(p: &DiskParams) -> Self {
+        // The paper's To bundles "various processing times, transfer costs,
+        // track switch time, and mechanical acceleration/deceleration"
+        // (§2.3); command overhead plus one head switch is the
+        // request-size-independent part, and `with_transfer` adds the rest.
+        DiskCharacter {
+            s_ms: p.max_seek.as_millis_f64(),
+            r_ms: p.rotation_time().as_millis_f64(),
+            overhead_ms: (p.overhead + p.head_switch).as_millis_f64(),
+        }
+    }
+
+    /// The characteristics with the seek term divided by a locality index.
+    pub fn with_locality(&self, l: f64) -> Self {
+        DiskCharacter {
+            s_ms: self.s_ms / l.max(1.0),
+            ..*self
+        }
+    }
+
+    /// The characteristics with the media-transfer time of a
+    /// `sectors`-sized request folded into the overhead term, completing
+    /// the paper's definition of `To`.
+    pub fn with_transfer(&self, sectors: u32, p: &DiskParams) -> Self {
+        let geometry = mimd_disk::Geometry::new(p);
+        let transfer_ms = sectors as f64 / geometry.avg_sectors_per_track() * self.r_ms;
+        DiskCharacter {
+            overhead_ms: self.overhead_ms + transfer_ms,
+            ..*self
+        }
+    }
+}

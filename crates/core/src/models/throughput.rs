@@ -1,0 +1,169 @@
+//! Scheduling and throughput models (§2.4), Equations (12) through (16).
+
+use super::components::{rot_read_even, rot_write_all};
+use super::latency::rw_latency;
+use super::DiskCharacter;
+
+/// Queue depth below which the RLOOK amortisation (Equation 12) breaks
+/// down and the latency models apply instead ("Empirically, this is a good
+/// approximation when q > 3", §2.4).
+pub const RLOOK_MIN_Q: f64 = 3.0;
+
+/// Equation (12): average per-request time in an RLOOK stroke with `q`
+/// queued requests, `S/(q Ds) + p·R/(2 Dr) + (1-p)(R - R/(2 Dr))`.
+///
+/// Note the seek term amortises the *end-to-end* seek `S` (not `S/3`) over
+/// the `q` requests of the stroke.
+pub fn rlook_request_time(c: &DiskCharacter, ds: u32, dr: u32, p: f64, q: f64) -> f64 {
+    c.s_ms / (q * ds as f64) + p * rot_read_even(c.r_ms, dr) + (1.0 - p) * rot_write_all(c.r_ms, dr)
+}
+
+/// Equation (13): continuous-optimum aspect ratio for throughput.
+///
+/// `None` when `p <= 0.5` (pure striping is best; §2.4).
+pub fn optimal_throughput_aspect(c: &DiskCharacter, d: u32, p: f64, q: f64) -> Option<(f64, f64)> {
+    if p <= 0.5 {
+        return None;
+    }
+    let d = d as f64;
+    let k = (2.0 * p - 1.0) * q;
+    let ds = (2.0 * c.s_ms / (c.r_ms * k) * d).sqrt();
+    let dr = (c.r_ms * k / (2.0 * c.s_ms) * d).sqrt();
+    Some((ds, dr))
+}
+
+/// Equation (14): best per-request RLOOK time,
+/// `sqrt(2SR(2p-1)/(qD)) + (1-p)R`.
+pub fn best_rlook_time(c: &DiskCharacter, d: u32, p: f64, q: f64) -> Option<f64> {
+    if p <= 0.5 {
+        return None;
+    }
+    let k = 2.0 * p - 1.0;
+    Some((2.0 * c.s_ms * c.r_ms * k / (q * d as f64)).sqrt() + (1.0 - p) * c.r_ms)
+}
+
+/// Equation (15): single-disk throughput, `1 / (To + T_best)` in requests
+/// per millisecond given times in milliseconds.
+pub fn single_disk_throughput(overhead_ms: f64, t_best_ms: f64) -> f64 {
+    1.0 / (overhead_ms + t_best_ms)
+}
+
+/// Equation (16): array throughput with `Q` outstanding requests over `D`
+/// disks, `D · (1 - (1 - 1/D)^Q) · N1` — discounting the probability of
+/// idle disks under random request placement.
+pub fn array_throughput(d: u32, q_total: f64, n1: f64) -> f64 {
+    let d = d as f64;
+    d * (1.0 - (1.0 - 1.0 / d).powf(q_total)) * n1
+}
+
+/// End-to-end throughput prediction for a `ds × dr` SR-Array with `Q`
+/// outstanding requests in total: per-request service from Equation (12)
+/// (or Equation (9) at short queues), Equation (15), then Equation (16).
+///
+/// Returns requests per *second*.
+pub fn predict_throughput_iops(c: &DiskCharacter, ds: u32, dr: u32, p: f64, q_total: f64) -> f64 {
+    let d = ds * dr;
+    let q = q_total / d as f64;
+    let t = if q > RLOOK_MIN_Q {
+        rlook_request_time(c, ds, dr, p, q)
+    } else {
+        rw_latency(c, ds, dr, p)
+    };
+    let n1_per_ms = single_disk_throughput(c.overhead_ms, t);
+    array_throughput(d, q_total, n1_per_ms) * 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr() -> DiskCharacter {
+        DiskCharacter {
+            s_ms: 15.6,
+            r_ms: 6.0,
+            overhead_ms: 2.0,
+        }
+    }
+
+    #[test]
+    fn eq12_amortizes_seek_over_queue() {
+        let c = chr();
+        let t4 = rlook_request_time(&c, 1, 1, 1.0, 4.0);
+        let t16 = rlook_request_time(&c, 1, 1, 1.0, 16.0);
+        assert!(t16 < t4);
+        // The rotational term is untouched by q.
+        assert!((t4 - t16 - (c.s_ms / 4.0 - c.s_ms / 16.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq13_product_is_d() {
+        let c = chr();
+        let (ds, dr) = optimal_throughput_aspect(&c, 36, 0.9, 8.0).unwrap();
+        assert!((ds * dr - 36.0).abs() < 1e-9);
+        assert!(optimal_throughput_aspect(&c, 36, 0.5, 8.0).is_none());
+    }
+
+    #[test]
+    fn longer_queues_favor_taller_grids() {
+        // §2.4: "A long queue allows for the amortization of the end-to-end
+        // seek over many requests; consequently, we should devote more
+        // disks to reducing rotational delay."
+        let c = chr();
+        let (_, dr_short) = optimal_throughput_aspect(&c, 36, 1.0, 2.0).unwrap();
+        let (_, dr_long) = optimal_throughput_aspect(&c, 36, 1.0, 32.0).unwrap();
+        assert!(dr_long > dr_short);
+    }
+
+    #[test]
+    fn eq14_matches_eq12_at_optimum() {
+        let c = chr();
+        let (p, q, d) = (0.8, 8.0, 36);
+        let (ds, dr) = optimal_throughput_aspect(&c, d, p, q).unwrap();
+        let direct = c.s_ms / (q * ds)
+            + p * c.r_ms / (2.0 * dr)
+            + (1.0 - p) * (c.r_ms - c.r_ms / (2.0 * dr));
+        assert!((direct - best_rlook_time(&c, d, p, q).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq16_limits() {
+        // Q -> infinity: all D disks busy.
+        let n = array_throughput(6, 1e6, 1.0);
+        assert!((n - 6.0).abs() < 1e-6);
+        // Q = 1: exactly one disk busy.
+        let n1 = array_throughput(6, 1.0, 1.0);
+        assert!((n1 - 1.0).abs() < 1e-9);
+        // Monotone in Q.
+        let a = array_throughput(6, 4.0, 1.0);
+        let b = array_throughput(6, 8.0, 1.0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn predicted_throughput_scales_with_disks() {
+        let c = chr();
+        let t6 = predict_throughput_iops(&c, 3, 2, 1.0, 32.0);
+        let t12 = predict_throughput_iops(&c, 6, 2, 1.0, 64.0);
+        assert!(t12 > 1.5 * t6, "t6={t6} t12={t12}");
+    }
+
+    #[test]
+    fn short_queue_falls_back_to_latency_model() {
+        let c = chr();
+        // q_total=6 over 6 disks -> q=1 <= 3: must use Equation (9).
+        let t = predict_throughput_iops(&c, 3, 2, 1.0, 6.0);
+        let q_eff = 6.0 / 6.0;
+        assert!(q_eff <= RLOOK_MIN_Q);
+        let t_eq9 = rw_latency(&c, 3, 2, 1.0);
+        let expect = array_throughput(6, 6.0, 1.0 / (c.overhead_ms + t_eq9)) * 1_000.0;
+        assert!((t - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn writes_depress_throughput() {
+        let c = chr();
+        let reads = predict_throughput_iops(&c, 3, 2, 1.0, 32.0);
+        let mixed = predict_throughput_iops(&c, 3, 2, 0.6, 32.0);
+        assert!(mixed < reads);
+    }
+}

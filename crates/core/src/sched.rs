@@ -1,0 +1,488 @@
+//! Local disk scheduling policies (§2.4, §3.3).
+//!
+//! Each disk owns a *drive queue*; when it falls idle, the configured
+//! policy picks the next request and — for replica-aware policies — which
+//! rotational replica to use:
+//!
+//! - [`Policy::Fcfs`] — arrival order (baseline).
+//! - [`Policy::Look`] — the elevator: bi-directional cylinder sweep.
+//! - [`Policy::Satf`] — shortest access time first over the primary copy.
+//! - [`Policy::Rlook`] — LOOK's sweep, but "chooses the replica that is
+//!   rotationally closest among all the replicas during the scan".
+//! - [`Policy::Rsatf`] — SATF over *all* rotational replicas.
+//!
+//! Positioning estimates come from [`SimDisk::estimate`], which is exactly
+//! the head-position-prediction machinery of §3.2 (its residual error is
+//! injected at service time, not here).
+
+use mimd_disk::{SimDisk, Target};
+use mimd_sim::{SimDuration, SimTime};
+
+/// A disk-scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// First come, first served.
+    Fcfs,
+    /// Elevator sweep without rotational knowledge.
+    Look,
+    /// Shortest access time first (primary replica only).
+    Satf,
+    /// Elevator sweep choosing the rotationally closest replica.
+    Rlook,
+    /// Shortest access time first over all replicas.
+    Rsatf,
+}
+
+impl Policy {
+    /// Whether the policy chooses among rotational replicas.
+    pub fn replica_aware(self) -> bool {
+        matches!(self, Policy::Rlook | Policy::Rsatf)
+    }
+
+    /// The paper's default pairing (§4.1): RSATF for SR-Arrays, SATF for
+    /// everything else.
+    pub fn default_for_dr(dr: u32) -> Policy {
+        if dr > 1 {
+            Policy::Rsatf
+        } else {
+            Policy::Satf
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Policy::Fcfs => "FCFS",
+            Policy::Look => "LOOK",
+            Policy::Satf => "SATF",
+            Policy::Rlook => "RLOOK",
+            Policy::Rsatf => "RSATF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A schedulable entry in a drive queue, as the policies see it.
+pub trait Schedulable {
+    /// The replica targets available on this disk (never empty).
+    fn candidates(&self) -> &[Target];
+    /// Whether the first media operation is a write.
+    fn is_write(&self) -> bool;
+    /// Arrival time in the queue (FCFS order).
+    fn enqueued(&self) -> SimTime;
+}
+
+/// Per-disk elevator state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LookState {
+    /// Whether the sweep currently moves toward higher cylinders.
+    pub upward: bool,
+}
+
+/// The scheduling decision: queue index and candidate (replica) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pick {
+    /// Index into the queue slice handed to [`pick`].
+    pub queue_index: usize,
+    /// Index into that entry's candidate list.
+    pub candidate: usize,
+}
+
+/// Chooses the next entry (and replica) for an idle disk, or `None` if the
+/// queue is empty.
+///
+/// # Examples
+///
+/// ```
+/// use mimd_core::sched::{pick, LookState, Policy, Schedulable};
+/// use mimd_disk::{DiskParams, PositionKnowledge, SimDisk, Target, TimingPath};
+/// use mimd_sim::SimTime;
+///
+/// struct Entry(Vec<Target>);
+/// impl Schedulable for Entry {
+///     fn candidates(&self) -> &[Target] { &self.0 }
+///     fn is_write(&self) -> bool { false }
+///     fn enqueued(&self) -> SimTime { SimTime::ZERO }
+/// }
+///
+/// let disk = SimDisk::new(DiskParams::st39133lwv(), TimingPath::Analytic,
+///                         PositionKnowledge::Perfect, 0).unwrap();
+/// let q = vec![Entry(vec![Target { cylinder: 9, surface: 0, angle: 0.1, sectors: 8 }])];
+/// let mut look = LookState::default();
+/// let p = pick(Policy::Satf, &disk, SimTime::ZERO, &q, &mut look,
+///              mimd_sim::SimDuration::ZERO).unwrap();
+/// assert_eq!((p.queue_index, p.candidate), (0, 0));
+/// ```
+pub fn pick<S: Schedulable>(
+    policy: Policy,
+    disk: &SimDisk,
+    now: SimTime,
+    queue: &[S],
+    look: &mut LookState,
+    slack: SimDuration,
+) -> Option<Pick> {
+    if queue.is_empty() {
+        return None;
+    }
+    match policy {
+        Policy::Fcfs => {
+            let (i, entry) = queue.iter().enumerate().min_by_key(|(_, e)| e.enqueued())?;
+            // FCFS still gets to use the nearest replica: replica choice is
+            // free and does not reorder requests.
+            let candidate = best_candidate(disk, now, entry, true, slack);
+            Some(Pick {
+                queue_index: i,
+                candidate,
+            })
+        }
+        Policy::Satf | Policy::Rsatf => {
+            let aware = policy.replica_aware();
+            let mut best: Option<(Pick, u64)> = None;
+            for (i, entry) in queue.iter().enumerate() {
+                let limit = if aware { entry.candidates().len() } else { 1 };
+                for (c, target) in entry.candidates().iter().take(limit).enumerate() {
+                    let cost = candidate_cost(disk, now, target, entry.is_write(), slack);
+                    if best.map(|(_, b)| cost < b).unwrap_or(true) {
+                        best = Some((
+                            Pick {
+                                queue_index: i,
+                                candidate: c,
+                            },
+                            cost,
+                        ));
+                    }
+                }
+            }
+            best.map(|(p, _)| p)
+        }
+        Policy::Look | Policy::Rlook => {
+            let head = disk.arm_cylinder();
+            // One flip allowed: if nothing lies in the sweep direction,
+            // reverse (that is LOOK's end-of-stroke turn).
+            for _ in 0..2 {
+                let in_dir = queue.iter().enumerate().filter(|(_, e)| {
+                    let cyl = e.candidates()[0].cylinder;
+                    if look.upward {
+                        cyl >= head
+                    } else {
+                        cyl <= head
+                    }
+                });
+                let next = in_dir.min_by_key(|(i, e)| {
+                    let cyl = e.candidates()[0].cylinder;
+                    let dist = cyl.abs_diff(head);
+                    // Nearest cylinder in the sweep; FIFO inside a cylinder.
+                    (dist, e.enqueued(), *i)
+                });
+                if let Some((i, entry)) = next {
+                    let candidate = best_candidate(disk, now, entry, policy.replica_aware(), slack);
+                    return Some(Pick {
+                        queue_index: i,
+                        candidate,
+                    });
+                }
+                look.upward = !look.upward;
+            }
+            None
+        }
+    }
+}
+
+/// The ranking cost of one candidate: predicted positioning time, plus a
+/// full-revolution penalty when the predicted rotational wait falls inside
+/// the slack window — within it the head-position prediction cannot be
+/// trusted and "the scheduler conservatively chooses the next rotational
+/// replica after the target" (§3.2).
+fn candidate_cost(
+    disk: &SimDisk,
+    now: SimTime,
+    target: &Target,
+    write: bool,
+    slack: SimDuration,
+) -> u64 {
+    let est = disk.estimate(now, target, write);
+    let mut cost = est.positioning().as_nanos();
+    if est.rotation < slack {
+        cost += disk.rotation_time().as_nanos();
+    }
+    cost
+}
+
+/// Picks the cheapest replica of one entry (or the primary when the policy
+/// is not replica-aware).
+fn best_candidate<S: Schedulable>(
+    disk: &SimDisk,
+    now: SimTime,
+    entry: &S,
+    aware: bool,
+    slack: SimDuration,
+) -> usize {
+    if !aware || entry.candidates().len() == 1 {
+        return 0;
+    }
+    entry
+        .candidates()
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| candidate_cost(disk, now, t, entry.is_write(), slack))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_disk::{DiskParams, PositionKnowledge, TimingPath};
+
+    struct Entry {
+        candidates: Vec<Target>,
+        write: bool,
+        at: SimTime,
+    }
+
+    impl Schedulable for Entry {
+        fn candidates(&self) -> &[Target] {
+            &self.candidates
+        }
+        fn is_write(&self) -> bool {
+            self.write
+        }
+        fn enqueued(&self) -> SimTime {
+            self.at
+        }
+    }
+
+    fn disk() -> SimDisk {
+        SimDisk::new(
+            DiskParams::st39133lwv(),
+            TimingPath::Analytic,
+            PositionKnowledge::Perfect,
+            1,
+        )
+        .unwrap()
+    }
+
+    fn entry_at(cylinder: u32, angle: f64, at_us: u64) -> Entry {
+        Entry {
+            candidates: vec![Target {
+                cylinder,
+                surface: 0,
+                angle,
+                sectors: 8,
+            }],
+            write: false,
+            at: SimTime::from_micros(at_us),
+        }
+    }
+
+    fn entry_with_replicas(cylinder: u32, dr: u32) -> Entry {
+        Entry {
+            candidates: (0..dr)
+                .map(|k| Target {
+                    cylinder,
+                    surface: k,
+                    angle: k as f64 / dr as f64,
+                    sectors: 8,
+                })
+                .collect(),
+            write: false,
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        let d = disk();
+        let q: Vec<Entry> = vec![];
+        let mut look = LookState::default();
+        for p in [
+            Policy::Fcfs,
+            Policy::Look,
+            Policy::Satf,
+            Policy::Rlook,
+            Policy::Rsatf,
+        ] {
+            assert!(pick(p, &d, SimTime::ZERO, &q, &mut look, SimDuration::ZERO).is_none());
+        }
+    }
+
+    #[test]
+    fn fcfs_takes_oldest() {
+        let d = disk();
+        let q = vec![entry_at(5000, 0.5, 100), entry_at(10, 0.1, 50)];
+        let mut look = LookState::default();
+        let p = pick(
+            Policy::Fcfs,
+            &d,
+            SimTime::ZERO,
+            &q,
+            &mut look,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(p.queue_index, 1);
+    }
+
+    #[test]
+    fn satf_takes_cheapest_access() {
+        let d = disk(); // Head at cylinder 0.
+        let q = vec![entry_at(6000, 0.2, 0), entry_at(50, 0.2, 1)];
+        let mut look = LookState::default();
+        let p = pick(
+            Policy::Satf,
+            &d,
+            SimTime::ZERO,
+            &q,
+            &mut look,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(p.queue_index, 1);
+    }
+
+    #[test]
+    fn satf_weighs_rotation_not_just_seek() {
+        let mut d = disk();
+        // Park the head at cylinder 1000.
+        let _ = d.begin(
+            SimTime::ZERO,
+            &Target {
+                cylinder: 1000,
+                surface: 0,
+                angle: 0.0,
+                sectors: 1,
+            },
+            false,
+        );
+        let now = d.busy_until();
+        // Same-cylinder target whose angle just passed (near-full rotation)
+        // vs. a short seek whose angle lands shortly after the arm arrives:
+        // SATF prefers the seek.
+        let just_missed = mimd_disk::mod1(d.angle_at(now) - 0.02);
+        let probe = Target {
+            cylinder: 1030,
+            surface: 0,
+            angle: 0.0,
+            sectors: 8,
+        };
+        let est = d.estimate(now, &probe, false);
+        let arrive_angle = d.angle_at(now + est.overhead + est.seek);
+        let q = vec![
+            entry_at(1000, just_missed, 0),
+            entry_at(1030, mimd_disk::mod1(arrive_angle + 0.1), 1),
+        ];
+        let mut look = LookState::default();
+        let p = pick(Policy::Satf, &d, now, &q, &mut look, SimDuration::ZERO).unwrap();
+        assert_eq!(p.queue_index, 1);
+    }
+
+    #[test]
+    fn rsatf_picks_best_replica_but_satf_ignores_them() {
+        let mut d = disk();
+        let _ = d.begin(
+            SimTime::ZERO,
+            &Target {
+                cylinder: 0,
+                surface: 0,
+                angle: 0.0,
+                sectors: 1,
+            },
+            false,
+        );
+        let now = d.busy_until();
+        let q = vec![entry_with_replicas(0, 3)];
+        let mut look = LookState::default();
+        let satf = pick(Policy::Satf, &d, now, &q, &mut look, SimDuration::ZERO).unwrap();
+        assert_eq!(satf.candidate, 0);
+        let rsatf = pick(Policy::Rsatf, &d, now, &q, &mut look, SimDuration::ZERO).unwrap();
+        // The chosen replica is the rotationally nearest of the three.
+        let costs: Vec<u64> = q[0]
+            .candidates
+            .iter()
+            .map(|t| d.estimate(now, t, false).positioning().as_nanos())
+            .collect();
+        let best = costs.iter().enumerate().min_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(rsatf.candidate, best);
+    }
+
+    #[test]
+    fn look_sweeps_upward_then_reverses() {
+        let mut d = disk();
+        let _ = d.begin(
+            SimTime::ZERO,
+            &Target {
+                cylinder: 3000,
+                surface: 0,
+                angle: 0.0,
+                sectors: 1,
+            },
+            false,
+        );
+        let now = d.busy_until();
+        let q = vec![
+            entry_at(2000, 0.0, 0),
+            entry_at(3500, 0.0, 1),
+            entry_at(5000, 0.0, 2),
+        ];
+        let mut look = LookState { upward: true };
+        // Upward: nearest above 3000 is 3500.
+        let p = pick(Policy::Look, &d, now, &q, &mut look, SimDuration::ZERO).unwrap();
+        assert_eq!(p.queue_index, 1);
+        assert!(look.upward);
+        // With only a lower cylinder left, the sweep reverses.
+        let q2 = vec![entry_at(2000, 0.0, 0)];
+        let p2 = pick(Policy::Look, &d, now, &q2, &mut look, SimDuration::ZERO).unwrap();
+        assert_eq!(p2.queue_index, 0);
+        assert!(!look.upward);
+    }
+
+    #[test]
+    fn rlook_chooses_rotationally_closest_replica_on_scan() {
+        let d = disk();
+        let q = vec![entry_with_replicas(0, 6)];
+        let mut look = LookState { upward: true };
+        let p = pick(
+            Policy::Rlook,
+            &d,
+            SimTime::from_micros(777),
+            &q,
+            &mut look,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let costs: Vec<u64> = q[0]
+            .candidates
+            .iter()
+            .map(|t| {
+                d.estimate(SimTime::from_micros(777), t, false)
+                    .positioning()
+                    .as_nanos()
+            })
+            .collect();
+        let best = costs.iter().enumerate().min_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(p.candidate, best);
+        // Plain LOOK would have taken the primary.
+        let p_look = pick(
+            Policy::Look,
+            &d,
+            SimTime::from_micros(777),
+            &q,
+            &mut look,
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(p_look.candidate, 0);
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert!(Policy::Rsatf.replica_aware());
+        assert!(Policy::Rlook.replica_aware());
+        assert!(!Policy::Satf.replica_aware());
+        assert!(!Policy::Look.replica_aware());
+        assert_eq!(Policy::default_for_dr(3), Policy::Rsatf);
+        assert_eq!(Policy::default_for_dr(1), Policy::Satf);
+        assert_eq!(Policy::Rlook.to_string(), "RLOOK");
+    }
+}

@@ -1,0 +1,428 @@
+//! Dynamic configuration tuning — the paper's stated future work.
+//!
+//! "We are currently researching a wide range of access patterns ... that
+//! can be used to dynamically tune the array configuration" (§5, after
+//! Ivy). This module closes that loop: a [`WorkloadObserver`] derives the
+//! model inputs (`rate`, `p`, `L`, read mix) from the live request stream,
+//! and an [`Advisor`] re-runs the Section 2 models against the current
+//! shape, recommending a reconfiguration only when the predicted gain
+//! clears a hysteresis threshold *and* pays back its migration cost within
+//! a configurable horizon.
+
+use mimd_disk::DiskParams;
+use mimd_sim::SimDuration;
+use mimd_workload::{Op, Request};
+
+use crate::config::Shape;
+use crate::models::{recommend_latency_shape, rw_latency, DiskCharacter};
+
+/// A windowed summary of observed workload character, in model terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Observed request rate, per second.
+    pub rate_per_sec: f64,
+    /// Fraction of requests that are reads.
+    pub read_frac: f64,
+    /// Fraction of requests that are synchronous writes.
+    pub sync_write_frac: f64,
+    /// Seek-locality index `L` over the window.
+    pub locality: f64,
+    /// Equation (8)'s `p`, under the masking heuristic described at
+    /// [`WorkloadObserver::snapshot`].
+    pub p: f64,
+    /// Requests observed.
+    pub observed: u64,
+}
+
+/// Accumulates request-stream statistics over a sliding window.
+///
+/// # Examples
+///
+/// ```
+/// use mimd_core::tuner::WorkloadObserver;
+/// use mimd_workload::SyntheticSpec;
+///
+/// let trace = SyntheticSpec::cello_base().generate(1, 2_000);
+/// let mut obs = WorkloadObserver::new(trace.data_sectors, 6);
+/// for r in trace.requests() {
+///     obs.observe(r);
+/// }
+/// let profile = obs.snapshot().unwrap();
+/// assert!(profile.read_frac > 0.4);
+/// assert!(profile.locality > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadObserver {
+    data_sectors: u64,
+    disks: u32,
+    reads: u64,
+    sync_writes: u64,
+    async_writes: u64,
+    hop_sum: f64,
+    hop_n: u64,
+    prev_lbn: Option<u64>,
+    first_arrival: Option<mimd_sim::SimTime>,
+    last_arrival: mimd_sim::SimTime,
+    /// Assumed mean service time per request, for the utilisation proxy.
+    service_ms: f64,
+}
+
+impl WorkloadObserver {
+    /// Creates an observer for a data set served by `disks` disks.
+    pub fn new(data_sectors: u64, disks: u32) -> Self {
+        WorkloadObserver {
+            data_sectors,
+            disks: disks.max(1),
+            reads: 0,
+            sync_writes: 0,
+            async_writes: 0,
+            hop_sum: 0.0,
+            hop_n: 0,
+            prev_lbn: None,
+            first_arrival: None,
+            last_arrival: mimd_sim::SimTime::ZERO,
+            service_ms: 5.0,
+        }
+    }
+
+    /// Feeds one request.
+    pub fn observe(&mut self, r: &Request) {
+        match r.op {
+            Op::Read => self.reads += 1,
+            Op::SyncWrite => self.sync_writes += 1,
+            Op::AsyncWrite => self.async_writes += 1,
+        }
+        if let Some(prev) = self.prev_lbn {
+            self.hop_sum += prev.abs_diff(r.lbn) as f64;
+            self.hop_n += 1;
+        }
+        self.prev_lbn = Some(r.lbn);
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(r.arrival);
+        }
+        self.last_arrival = r.arrival;
+    }
+
+    /// Resets the window (keeps the configuration).
+    pub fn reset(&mut self) {
+        let (data, disks) = (self.data_sectors, self.disks);
+        *self = WorkloadObserver::new(data, disks);
+    }
+
+    /// Total requests observed in the current window.
+    pub fn observed(&self) -> u64 {
+        self.reads + self.sync_writes + self.async_writes
+    }
+
+    /// Summarises the window; `None` below a minimum of 100 requests.
+    ///
+    /// The `p` heuristic: background propagation masks write replicas while
+    /// the array has idle time. We proxy idleness with utilisation
+    /// `u = rate × service / disks`; the foreground share of sync writes
+    /// ramps linearly from 0 at u ≤ 50 % to 1 at u ≥ 100 %.
+    pub fn snapshot(&self) -> Option<WorkloadProfile> {
+        let n = self.observed();
+        if n < 100 {
+            return None;
+        }
+        let span = self
+            .last_arrival
+            .saturating_since(self.first_arrival.unwrap_or(mimd_sim::SimTime::ZERO))
+            .as_secs_f64();
+        let rate = if span > 0.0 {
+            (n - 1) as f64 / span
+        } else {
+            0.0
+        };
+        let mean_hop = if self.hop_n > 0 {
+            self.hop_sum / self.hop_n as f64
+        } else {
+            0.0
+        };
+        let locality = if mean_hop > 0.0 {
+            (self.data_sectors as f64 / 3.0 / mean_hop).max(1.0)
+        } else {
+            1.0
+        };
+        let read_frac = self.reads as f64 / n as f64;
+        let sync_write_frac = self.sync_writes as f64 / n as f64;
+        let utilisation = rate * self.service_ms / 1_000.0 / self.disks as f64;
+        let foreground_share = ((utilisation - 0.5) / 0.5).clamp(0.0, 1.0);
+        let p = 1.0 - sync_write_frac * foreground_share;
+        Some(WorkloadProfile {
+            rate_per_sec: rate,
+            read_frac,
+            sync_write_frac,
+            locality,
+            p,
+            observed: n,
+        })
+    }
+}
+
+/// A reconfiguration recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Advice {
+    /// The current shape remains (near-)optimal.
+    Stay,
+    /// Reconfigure: the predicted gain clears the thresholds.
+    Reconfigure {
+        /// The recommended shape.
+        shape: Shape,
+        /// Predicted mean-latency ratio `current / recommended` (> 1).
+        predicted_gain: f64,
+        /// Estimated migration time at sequential disk bandwidth.
+        migration: SimDuration,
+    },
+}
+
+/// Recommends shape changes from observed profiles, with hysteresis.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    character: DiskCharacter,
+    params: DiskParams,
+    data_sectors: u64,
+    /// Minimum predicted latency ratio before recommending a move.
+    pub min_gain: f64,
+}
+
+impl Advisor {
+    /// Creates an advisor for a drive type and data-set size.
+    pub fn new(params: DiskParams, data_sectors: u64) -> Self {
+        Advisor {
+            character: DiskCharacter::from_params(&params),
+            params,
+            data_sectors,
+            min_gain: 1.10,
+        }
+    }
+
+    /// Estimated time to re-lay the whole data set across the array at
+    /// sequential media bandwidth (read old + write new, overlapped across
+    /// disks).
+    pub fn estimate_migration(&self, to: Shape) -> SimDuration {
+        let geometry = mimd_disk::Geometry::new(&self.params);
+        let sectors_per_sec =
+            geometry.avg_sectors_per_track() / self.params.rotation_time().as_secs_f64();
+        // Each disk rewrites its own share (data * Dr / D), reading and
+        // writing once; disks work in parallel.
+        let per_disk = self.data_sectors as f64 * to.dr as f64 / to.disks() as f64 * 2.0;
+        SimDuration::from_secs_f64(per_disk / sectors_per_sec)
+    }
+
+    /// Evaluates the current shape against the model's pick for `profile`.
+    ///
+    /// Keeps the current mirroring degree `Dm` (reliability is a policy
+    /// choice, not a tuning knob) and redistributes `D / Dm` heads between
+    /// striping and rotational replication.
+    pub fn recommend(&self, profile: &WorkloadProfile, current: Shape) -> Advice {
+        let c = self.character.with_locality(profile.locality);
+        let heads = current.disks() / current.dm;
+        let sr = recommend_latency_shape(&c, heads, profile.p);
+        let candidate = Shape {
+            ds: sr.ds,
+            dr: sr.dr,
+            dm: current.dm,
+        };
+        if candidate == current {
+            return Advice::Stay;
+        }
+        // Compare by Equation (9), folding Dm into the rotational degree
+        // the way §2.5 suggests for SR-Mirrors.
+        let eff = |s: Shape| rw_latency(&c, s.ds, (s.dr * s.dm).min(6), profile.p);
+        let cur_t = eff(current) + c.overhead_ms;
+        let new_t = eff(candidate) + c.overhead_ms;
+        let gain = cur_t / new_t;
+        if gain >= self.min_gain {
+            Advice::Reconfigure {
+                shape: candidate,
+                predicted_gain: gain,
+                migration: self.estimate_migration(candidate),
+            }
+        } else {
+            Advice::Stay
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_sim::SimTime;
+    use mimd_workload::SyntheticSpec;
+
+    fn req(at_ms: u64, op: Op, lbn: u64) -> Request {
+        Request {
+            id: 0,
+            arrival: SimTime::from_millis(at_ms),
+            op,
+            lbn,
+            sectors: 8,
+        }
+    }
+
+    #[test]
+    fn observer_needs_a_minimum_window() {
+        let mut obs = WorkloadObserver::new(1_000_000, 6);
+        for i in 0..99 {
+            obs.observe(&req(i * 10, Op::Read, i * 1_000));
+        }
+        assert!(obs.snapshot().is_none());
+        obs.observe(&req(1_000, Op::Read, 0));
+        assert!(obs.snapshot().is_some());
+    }
+
+    #[test]
+    fn observer_recovers_cello_character() {
+        let trace = SyntheticSpec::cello_base().generate(4, 5_000);
+        let mut obs = WorkloadObserver::new(trace.data_sectors, 6);
+        for r in trace.requests() {
+            obs.observe(r);
+        }
+        let p = obs.snapshot().expect("window full");
+        assert!((p.read_frac - 0.552).abs() < 0.03, "reads {}", p.read_frac);
+        assert!((p.locality - 4.14).abs() < 1.0, "L {}", p.locality);
+        assert!(
+            (p.rate_per_sec - 2.84).abs() < 0.4,
+            "rate {}",
+            p.rate_per_sec
+        );
+        // At 2.84/s over 6 disks the array idles; writes are masked.
+        assert!(p.p > 0.95, "p {}", p.p);
+    }
+
+    #[test]
+    fn observer_sees_foreground_pressure_at_high_rates() {
+        let mut obs = WorkloadObserver::new(16_000_000, 2);
+        // 50% sync writes at 600/s over 2 disks: utilisation 1.5 >> 1.
+        for i in 0..1_000u64 {
+            let op = if i % 2 == 0 { Op::Read } else { Op::SyncWrite };
+            obs.observe(&Request {
+                id: 0,
+                arrival: SimTime::from_micros(i * 1_666),
+                op,
+                lbn: (i * 37_777) % 16_000_000,
+                sectors: 8,
+            });
+        }
+        let p = obs.snapshot().expect("window full");
+        assert!(p.p < 0.6, "p {}", p.p);
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let mut obs = WorkloadObserver::new(1_000_000, 4);
+        for i in 0..200 {
+            obs.observe(&req(i, Op::Read, i * 100));
+        }
+        obs.reset();
+        assert_eq!(obs.observed(), 0);
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn advisor_stays_when_current_is_optimal() {
+        let advisor = Advisor::new(DiskParams::st39133lwv(), 16_400_000);
+        let profile = WorkloadProfile {
+            rate_per_sec: 3.0,
+            read_frac: 0.55,
+            sync_write_frac: 0.25,
+            locality: 4.14,
+            p: 1.0,
+            observed: 5_000,
+        };
+        // 2x3 is the model's pick for this profile at six heads.
+        assert_eq!(
+            advisor.recommend(&profile, Shape::sr_array(2, 3).expect("valid")),
+            Advice::Stay
+        );
+    }
+
+    #[test]
+    fn advisor_moves_off_striping_for_read_heavy_profiles() {
+        let advisor = Advisor::new(DiskParams::st39133lwv(), 16_400_000);
+        let profile = WorkloadProfile {
+            rate_per_sec: 3.0,
+            read_frac: 0.9,
+            sync_write_frac: 0.05,
+            locality: 4.0,
+            p: 1.0,
+            observed: 5_000,
+        };
+        match advisor.recommend(&profile, Shape::striping(6)) {
+            Advice::Reconfigure {
+                shape,
+                predicted_gain,
+                migration,
+            } => {
+                assert!(shape.dr > 1, "should buy replicas: {shape}");
+                assert!(predicted_gain > 1.1);
+                assert!(migration > SimDuration::ZERO);
+            }
+            Advice::Stay => panic!("expected a reconfiguration"),
+        }
+    }
+
+    #[test]
+    fn advisor_moves_to_striping_under_write_pressure() {
+        let advisor = Advisor::new(DiskParams::st39133lwv(), 16_400_000);
+        let profile = WorkloadProfile {
+            rate_per_sec: 900.0,
+            read_frac: 0.3,
+            sync_write_frac: 0.7,
+            locality: 1.1,
+            p: 0.4,
+            observed: 5_000,
+        };
+        match advisor.recommend(&profile, Shape::sr_array(2, 3).expect("valid")) {
+            Advice::Reconfigure { shape, .. } => {
+                assert_eq!(shape, Shape::striping(6));
+            }
+            Advice::Stay => panic!("expected a reconfiguration"),
+        }
+    }
+
+    #[test]
+    fn advisor_preserves_mirroring_degree() {
+        let advisor = Advisor::new(DiskParams::st39133lwv(), 8_000_000);
+        let profile = WorkloadProfile {
+            rate_per_sec: 3.0,
+            read_frac: 0.9,
+            sync_write_frac: 0.05,
+            locality: 8.0,
+            p: 1.0,
+            observed: 5_000,
+        };
+        let current = Shape::raid10(12).expect("even"); // 6x1x2.
+        if let Advice::Reconfigure { shape, .. } = advisor.recommend(&profile, current) {
+            assert_eq!(shape.dm, 2, "mirroring is a policy choice: {shape}");
+            assert_eq!(shape.disks(), 12);
+        }
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_moves() {
+        let mut advisor = Advisor::new(DiskParams::st39133lwv(), 16_400_000);
+        advisor.min_gain = 10.0; // Absurdly high bar: nothing clears it.
+        let profile = WorkloadProfile {
+            rate_per_sec: 3.0,
+            read_frac: 0.9,
+            sync_write_frac: 0.05,
+            locality: 4.0,
+            p: 1.0,
+            observed: 5_000,
+        };
+        assert_eq!(
+            advisor.recommend(&profile, Shape::striping(6)),
+            Advice::Stay
+        );
+    }
+
+    #[test]
+    fn migration_estimate_scales_with_replication() {
+        let advisor = Advisor::new(DiskParams::st39133lwv(), 16_400_000);
+        let light = advisor.estimate_migration(Shape::striping(6));
+        let heavy = advisor.estimate_migration(Shape::sr_array(1, 6).expect("valid"));
+        assert!(heavy > light * 5, "light {light}, heavy {heavy}");
+    }
+}

@@ -1,0 +1,592 @@
+//! Software-only disk-head position prediction (§3.2).
+//!
+//! The paper's mechanism issues reads to a fixed *reference sector* at
+//! growing intervals; the time between two such reads is an integral number
+//! of rotations plus unpredictable OS/SCSI overhead. From those jittered
+//! timestamps the host estimates the rotation period and spindle phase,
+//! and thereafter predicts where the head is at any instant. The paper
+//! reports (Table 2) a prediction error within 1 % of a rotation with 98 %
+//! confidence at a two-minute recalibration interval, a 0.22 % rotation-miss
+//! rate under RSATF, and a 1.9 % demerit relative to measured access times.
+//!
+//! This module simulates both sides:
+//!
+//! - [`DriftingSpindle`] — ground truth: a spindle whose period wanders
+//!   within a few tenths of a ppm (real 10 000 RPM spindles are servo-locked
+//!   far below their ±0.1 % static spec on these timescales).
+//! - [`HeadTracker`] — the estimator: a sliding-window least-squares fit of
+//!   observation time against rotation count, exactly the "integral
+//!   multiple of the full rotation time plus unpredictable overhead" model.
+//! - [`SlackController`] — the k-sector slack feedback loop that keeps the
+//!   on-target rate above a set point (§3.2's ">99 % of requests on
+//!   target").
+
+use mimd_sim::{SimDuration, SimRng, SimTime};
+
+use crate::mechanics::mod1;
+
+/// Ground-truth spindle whose rotation period drifts slowly.
+///
+/// The period is piecewise-constant over fixed epochs; each epoch nudges it
+/// by a small bounded random step. Phase accumulates continuously across
+/// epoch boundaries.
+#[derive(Debug, Clone)]
+pub struct DriftingSpindle {
+    nominal_ns: f64,
+    period_ns: f64,
+    epoch: SimDuration,
+    epoch_start: SimTime,
+    phase_at_epoch_start: f64,
+    max_drift_ppm: f64,
+    step_ppm: f64,
+    rng: SimRng,
+}
+
+impl DriftingSpindle {
+    /// Creates a spindle with the given nominal period.
+    ///
+    /// `step_ppm` is the per-epoch random-walk step and `max_drift_ppm`
+    /// bounds the total deviation from nominal. Epochs are one second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(nominal: SimDuration, step_ppm: f64, max_drift_ppm: f64, seed: u64) -> Self {
+        assert!(nominal > SimDuration::ZERO);
+        DriftingSpindle {
+            nominal_ns: nominal.as_nanos() as f64,
+            period_ns: nominal.as_nanos() as f64,
+            epoch: SimDuration::from_secs(1),
+            epoch_start: SimTime::ZERO,
+            phase_at_epoch_start: 0.0,
+            max_drift_ppm,
+            step_ppm,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Default drift character used by the Table-2 experiment: 0.01 ppm
+    /// steps bounded at ±0.1 ppm — the short-term stability of a
+    /// servo-locked 10 000 RPM spindle, far inside its ±0.1 % static spec.
+    pub fn default_for(nominal: SimDuration, seed: u64) -> Self {
+        Self::new(nominal, 0.01, 0.1, seed)
+    }
+
+    /// Nominal (data-sheet) rotation period.
+    pub fn nominal(&self) -> SimDuration {
+        SimDuration::from_nanos(self.nominal_ns as u64)
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        while t >= self.epoch_start + self.epoch {
+            let dt = self.epoch.as_nanos() as f64;
+            self.phase_at_epoch_start += dt / self.period_ns;
+            self.epoch_start += self.epoch;
+            // Random-walk the period within the drift bound.
+            let step = (self.rng.unit() * 2.0 - 1.0) * self.step_ppm;
+            let cur_ppm = (self.period_ns / self.nominal_ns - 1.0) * 1e6;
+            let next_ppm = (cur_ppm + step).clamp(-self.max_drift_ppm, self.max_drift_ppm);
+            self.period_ns = self.nominal_ns * (1.0 + next_ppm * 1e-6);
+        }
+    }
+
+    /// True platter phase at `t`.
+    ///
+    /// Queries must be (weakly) monotone in time at epoch granularity: the
+    /// drift walk advances destructively, so `t` must not precede the
+    /// current epoch (checked in debug builds).
+    pub fn true_angle(&mut self, t: SimTime) -> f64 {
+        self.advance_to(t);
+        debug_assert!(t >= self.epoch_start);
+        let dt = (t - self.epoch_start).as_nanos() as f64;
+        mod1(self.phase_at_epoch_start + dt / self.period_ns)
+    }
+
+    /// First instant at or after `from` at which the platter reaches
+    /// `target` phase.
+    pub fn next_time_at_angle(&mut self, from: SimTime, target: f64) -> SimTime {
+        self.advance_to(from);
+        let mut t = from;
+        loop {
+            let cur = self.true_angle(t);
+            let delta = mod1(target - cur);
+            let wait = SimDuration::from_nanos((delta * self.period_ns) as u64);
+            let cand = t + wait;
+            // If the wait fits within the current epoch, the linear solve is
+            // exact; otherwise step to the epoch boundary and retry.
+            if cand < self.epoch_start + self.epoch || wait == SimDuration::ZERO {
+                return cand;
+            }
+            t = self.epoch_start + self.epoch;
+        }
+    }
+}
+
+/// Configuration of the reference-sector observation channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservationNoise {
+    /// Mean OS + SCSI completion overhead, in microseconds (subtracted by
+    /// the tracker as a known constant).
+    pub mean_us: f64,
+    /// Standard deviation of the overhead, in microseconds.
+    pub std_us: f64,
+    /// Hard floor of the overhead, in microseconds.
+    pub floor_us: f64,
+}
+
+impl Default for ObservationNoise {
+    fn default() -> Self {
+        ObservationNoise {
+            mean_us: 150.0,
+            std_us: 25.0,
+            floor_us: 60.0,
+        }
+    }
+}
+
+/// Sliding-window least-squares estimator of rotation period and phase.
+///
+/// Observations are completion timestamps of reference-sector reads. The
+/// tracker assigns each a rotation index (`round((t_i - t_{i-1}) / R̂)`
+/// rotations after its predecessor) and fits `t ≈ t0 + k * R̂` over the most
+/// recent window.
+///
+/// # Examples
+///
+/// ```
+/// use mimd_disk::calibration::{DriftingSpindle, HeadTracker, ObservationNoise};
+/// use mimd_sim::{SimDuration, SimTime};
+///
+/// let period = SimDuration::from_millis(6);
+/// let mut tracker = HeadTracker::new(period, ObservationNoise::default());
+/// assert!(!tracker.is_calibrated());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeadTracker {
+    nominal_ns: f64,
+    period_ns: f64,
+    noise: ObservationNoise,
+    /// (rotation index, adjusted observation time in ns) pairs.
+    window: Vec<(f64, f64)>,
+    window_cap: usize,
+    /// Fitted phase anchor: time (ns) at which the reference angle passed
+    /// on the most recent observation's rotation, per the fit.
+    fit_t0_ns: f64,
+    /// Reference angle observed by the reads.
+    reference_angle: f64,
+    observations: u64,
+}
+
+impl HeadTracker {
+    /// Creates a tracker for a drive with the given nominal period.
+    pub fn new(nominal: SimDuration, noise: ObservationNoise) -> Self {
+        HeadTracker {
+            nominal_ns: nominal.as_nanos() as f64,
+            period_ns: nominal.as_nanos() as f64,
+            noise,
+            window: Vec::new(),
+            // A short window keeps the fit local in time: spindle drift
+            // makes very old observations misleading for the current phase.
+            window_cap: 6,
+            fit_t0_ns: 0.0,
+            reference_angle: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Number of reference reads consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Whether enough observations have arrived to predict.
+    pub fn is_calibrated(&self) -> bool {
+        self.window.len() >= 2
+    }
+
+    /// Current period estimate.
+    pub fn period_estimate(&self) -> SimDuration {
+        SimDuration::from_nanos(self.period_ns as u64)
+    }
+
+    /// Feeds one reference-sector completion timestamp.
+    ///
+    /// `reference_angle` is the platter phase corresponding to the *end* of
+    /// the reference sector (known from the layout extraction step).
+    ///
+    /// The paper notes (without implementing it) that "we can exploit the
+    /// timing information and known disk head location at the end of a
+    /// request" to cut the reference-read overhead further: any request
+    /// completion whose final platter angle is known from the layout is an
+    /// equally good observation, so callers may feed those here too — see
+    /// `request_completions_substitute_for_reference_reads` in the tests.
+    pub fn observe(&mut self, t_obs: SimTime, reference_angle: f64) {
+        self.observations += 1;
+        // Strip the known mean overhead, then normalise the observation to
+        // an angle-zero passage by subtracting the angular offset — this is
+        // what lets arbitrary-angle request completions share one fit with
+        // the fixed reference sector.
+        let y = t_obs.as_nanos() as f64
+            - self.noise.mean_us * 1_000.0
+            - crate::mechanics::mod1(reference_angle) * self.period_ns;
+        self.reference_angle = 0.0;
+        let k = match self.window.last() {
+            None => 0.0,
+            Some(&(k_prev, y_prev)) => {
+                let rotations = ((y - y_prev) / self.period_ns).round();
+                k_prev + rotations.max(1.0)
+            }
+        };
+        self.window.push((k, y));
+        if self.window.len() > self.window_cap {
+            self.window.remove(0);
+        }
+        self.refit();
+    }
+
+    fn refit(&mut self) {
+        let n = self.window.len();
+        if n < 2 {
+            if let Some(&(_, y)) = self.window.first() {
+                self.fit_t0_ns = y;
+            }
+            return;
+        }
+        // Ordinary least squares of y on k, on *centred* data: raw k*y
+        // products reach ~1e20 ns-rotations where f64 ulp is ~1e5 ns, and
+        // the uncentred normal equations would turn that into hundreds of
+        // microseconds of phase error.
+        let n_f = n as f64;
+        let k_mean = self.window.iter().map(|&(k, _)| k).sum::<f64>() / n_f;
+        let y_mean = self.window.iter().map(|&(_, y)| y).sum::<f64>() / n_f;
+        let (mut skk, mut sky) = (0.0, 0.0);
+        for &(k, y) in &self.window {
+            let (dk, dy) = (k - k_mean, y - y_mean);
+            skk += dk * dk;
+            sky += dk * dy;
+        }
+        if skk < f64::EPSILON {
+            return;
+        }
+        let slope = sky / skk;
+        // Reject nonsense fits (e.g. if rotation indexing slipped) by
+        // bounding the slope near nominal.
+        if (slope / self.nominal_ns - 1.0).abs() < 100e-6 {
+            self.period_ns = slope;
+            // Anchor the phase at the fitted passage time of the latest
+            // rotation index: extrapolation error then grows only from
+            // "now", not from the middle of the window.
+            let k_last = self.window.last().map(|&(k, _)| k).unwrap_or(k_mean);
+            self.fit_t0_ns = y_mean + slope * (k_last - k_mean);
+        }
+    }
+
+    /// Predicted platter phase at instant `t`.
+    ///
+    /// Returns `None` until calibrated.
+    pub fn predict_angle(&self, t: SimTime) -> Option<f64> {
+        if !self.is_calibrated() {
+            return None;
+        }
+        let dt = t.as_nanos() as f64 - self.fit_t0_ns;
+        Some(mod1(self.reference_angle + dt / self.period_ns))
+    }
+
+    /// Predicted wait from `t` until the platter reaches `target` phase.
+    pub fn predict_wait(&self, t: SimTime, target: f64) -> Option<SimDuration> {
+        let cur = self.predict_angle(t)?;
+        let delta = mod1(target - cur);
+        Some(SimDuration::from_nanos((delta * self.period_ns) as u64))
+    }
+}
+
+/// The recalibration schedule: intervals grow geometrically from
+/// `initial` to `max`, amortising the reference-read overhead (§3.2).
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationSchedule {
+    next: SimDuration,
+    max: SimDuration,
+}
+
+impl CalibrationSchedule {
+    /// Creates a schedule growing from `initial` to `max` (doubling).
+    pub fn new(initial: SimDuration, max: SimDuration) -> Self {
+        CalibrationSchedule { next: initial, max }
+    }
+
+    /// The paper's operating point: start fast, settle at two minutes.
+    pub fn paper_default() -> Self {
+        Self::new(SimDuration::from_millis(50), SimDuration::from_secs(120))
+    }
+
+    /// Returns the current interval and advances the schedule.
+    pub fn advance(&mut self) -> SimDuration {
+        let cur = self.next;
+        self.next = (self.next * 2).min(self.max);
+        cur
+    }
+
+    /// The steady-state (maximum) interval.
+    pub fn steady_state(&self) -> SimDuration {
+        self.max
+    }
+}
+
+/// Feedback controller for the k-sector scheduling slack (§3.2).
+///
+/// The scheduler treats a replica as unreachable when the predicted wait is
+/// under `k` sector times; the controller widens `k` when the observed miss
+/// rate exceeds the set point and narrows it when comfortably below.
+#[derive(Debug, Clone)]
+pub struct SlackController {
+    slack_sectors: u32,
+    min_sectors: u32,
+    max_sectors: u32,
+    target_miss_rate: f64,
+    window: u32,
+    requests: u32,
+    misses: u32,
+}
+
+impl SlackController {
+    /// Creates a controller targeting the given miss rate, evaluated over
+    /// windows of `window` requests.
+    pub fn new(initial_sectors: u32, target_miss_rate: f64, window: u32) -> Self {
+        SlackController {
+            slack_sectors: initial_sectors,
+            min_sectors: 0,
+            max_sectors: 64,
+            target_miss_rate,
+            window: window.max(1),
+            requests: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's operating point: keep more than 99 % of requests on
+    /// target.
+    pub fn paper_default() -> Self {
+        Self::new(4, 0.01, 500)
+    }
+
+    /// Current slack in sectors.
+    pub fn slack_sectors(&self) -> u32 {
+        self.slack_sectors
+    }
+
+    /// Current slack as a time, given the sector pass time.
+    pub fn slack_time(&self, sector_time: SimDuration) -> SimDuration {
+        sector_time * self.slack_sectors as u64
+    }
+
+    /// Records one request outcome and adapts at window boundaries.
+    pub fn record(&mut self, missed: bool) {
+        self.requests += 1;
+        if missed {
+            self.misses += 1;
+        }
+        if self.requests >= self.window {
+            let rate = self.misses as f64 / self.requests as f64;
+            if rate > self.target_miss_rate {
+                self.slack_sectors = (self.slack_sectors + 2).min(self.max_sectors);
+            } else if rate < self.target_miss_rate / 4.0 {
+                self.slack_sectors = self.slack_sectors.saturating_sub(1).max(self.min_sectors);
+            }
+            self.requests = 0;
+            self.misses = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifting_spindle_stays_near_nominal() {
+        let nominal = SimDuration::from_millis(6);
+        let mut s = DriftingSpindle::default_for(nominal, 1);
+        // After an hour of drift the phase advance still matches nominal to
+        // within the ppm bound.
+        let t = SimTime::from_secs(3600);
+        let _ = s.true_angle(t);
+        let est = s.period_ns;
+        let dev_ppm = (est / nominal.as_nanos() as f64 - 1.0).abs() * 1e6;
+        assert!(dev_ppm <= 0.5 + 1e-9, "deviation {dev_ppm} ppm");
+    }
+
+    #[test]
+    fn spindle_angle_is_monotone_in_phase() {
+        let mut s = DriftingSpindle::default_for(SimDuration::from_millis(6), 2);
+        let a0 = s.true_angle(SimTime::from_micros(100));
+        let a1 = s.true_angle(SimTime::from_micros(1_600));
+        let advance = mod1(a1 - a0);
+        // 1.5 ms at 6 ms/rev is a quarter revolution.
+        assert!((advance - 0.25).abs() < 1e-4, "advance {advance}");
+    }
+
+    #[test]
+    fn next_time_at_angle_lands_on_target() {
+        let mut s = DriftingSpindle::default_for(SimDuration::from_millis(6), 3);
+        for i in 0..50 {
+            let from = SimTime::from_micros(123_457 * i);
+            let target = mod1(i as f64 * 0.137);
+            let t = s.next_time_at_angle(from, target);
+            assert!(t >= from);
+            let got = s.true_angle(t);
+            let err = mod1(got - target).min(mod1(target - got));
+            assert!(err < 1e-5, "angle error {err} at iteration {i}");
+        }
+    }
+
+    #[test]
+    fn tracker_converges_on_ideal_spindle() {
+        let period = SimDuration::from_millis(6);
+        let noise = ObservationNoise {
+            mean_us: 150.0,
+            std_us: 0.0,
+            floor_us: 150.0,
+        };
+        let mut tracker = HeadTracker::new(period, noise);
+        // Ideal spindle: reference angle 0 passes at exact multiples of R.
+        for i in 1..=10u64 {
+            let passes = SimTime::from_nanos(i * 100 * period.as_nanos());
+            let obs = passes + SimDuration::from_micros(150);
+            tracker.observe(obs, 0.0);
+        }
+        assert!(tracker.is_calibrated());
+        let est = tracker.period_estimate();
+        let err = est.as_nanos().abs_diff(period.as_nanos());
+        assert!(err < 10, "period error {err} ns");
+        // Prediction at a future instant: phase should be ~dt/R mod 1.
+        let t = SimTime::from_nanos(7_000 * period.as_nanos() + period.as_nanos() / 4);
+        let angle = tracker.predict_angle(t).unwrap();
+        assert!((angle - 0.25).abs() < 1e-3, "angle {angle}");
+    }
+
+    #[test]
+    fn tracker_tracks_drifting_spindle_to_table2_accuracy() {
+        let nominal = SimDuration::from_millis(6);
+        let mut spindle = DriftingSpindle::default_for(nominal, 5);
+        let mut rng = SimRng::seed_from(6);
+        let noise = ObservationNoise::default();
+        let mut tracker = HeadTracker::new(nominal, noise);
+        let mut schedule = CalibrationSchedule::paper_default();
+
+        let mut now = SimTime::from_millis(1);
+        // Warm up through the growing schedule, then measure in steady state.
+        for _ in 0..40 {
+            let pass = spindle.next_time_at_angle(now, 0.0);
+            let jitter = rng.normal_at_least(noise.mean_us, noise.std_us, noise.floor_us);
+            tracker.observe(pass + SimDuration::from_micros_f64(jitter), 0.0);
+            now = pass + schedule.advance();
+        }
+        // Sample prediction error at random instants between recalibrations.
+        let mut worst_us: f64 = 0.0;
+        for i in 0..200 {
+            let t = now + SimDuration::from_millis(i * 40);
+            let predicted = tracker.predict_angle(t).unwrap();
+            let actual = spindle.true_angle(t);
+            let err_rev = mod1(predicted - actual).min(mod1(actual - predicted));
+            worst_us = worst_us.max(err_rev * 6_000.0);
+        }
+        // Table 2 reports errors within 1% of a rotation (60us) with 98%
+        // confidence; allow some headroom for the worst case here.
+        assert!(worst_us < 90.0, "worst prediction error {worst_us} us");
+    }
+
+    #[test]
+    fn request_completions_substitute_for_reference_reads() {
+        // §3.2's unimplemented optimisation, implemented: after an initial
+        // calibration, ordinary request completions (whose end angles the
+        // layout knows) keep the tracker locked without any further
+        // reference-sector reads.
+        let nominal = SimDuration::from_millis(6);
+        let mut spindle = DriftingSpindle::default_for(nominal, 21);
+        let mut rng = SimRng::seed_from(22);
+        let noise = ObservationNoise::default();
+        let mut tracker = HeadTracker::new(nominal, noise);
+
+        // Boot-strap with a few reference reads at angle 0.
+        let mut now = SimTime::from_millis(1);
+        for _ in 0..6 {
+            let pass = spindle.next_time_at_angle(now, 0.0);
+            let jitter = rng.normal_at_least(noise.mean_us, noise.std_us, noise.floor_us);
+            tracker.observe(pass + SimDuration::from_micros_f64(jitter), 0.0);
+            now = pass + SimDuration::from_millis(500);
+        }
+        // Thereafter: only request completions at arbitrary angles, spaced
+        // 20-40 s apart for ten minutes.
+        let mut worst_us: f64 = 0.0;
+        for i in 0..20u64 {
+            let angle = (i as f64 * 0.377).rem_euclid(1.0);
+            let pass = spindle.next_time_at_angle(now, angle);
+            let jitter = rng.normal_at_least(noise.mean_us, noise.std_us, noise.floor_us);
+            tracker.observe(pass + SimDuration::from_micros_f64(jitter), angle);
+            // Score a prediction mid-gap, once the fit window has grown
+            // past the short bootstrap baseline.
+            if i >= 6 {
+                let t = pass + SimDuration::from_secs(10);
+                let pred = tracker.predict_angle(t).expect("calibrated");
+                let act = spindle.true_angle(t);
+                let e = (pred - act).rem_euclid(1.0);
+                worst_us = worst_us.max(e.min(1.0 - e) * 6_000.0);
+            }
+            now = pass + SimDuration::from_secs(20 + i % 20);
+        }
+        assert!(worst_us < 90.0, "worst error {worst_us} us");
+    }
+
+    #[test]
+    fn schedule_grows_and_saturates() {
+        let mut s =
+            CalibrationSchedule::new(SimDuration::from_millis(50), SimDuration::from_secs(120));
+        let mut last = SimDuration::ZERO;
+        for _ in 0..20 {
+            let cur = s.advance();
+            assert!(cur >= last);
+            last = cur;
+        }
+        assert_eq!(last, SimDuration::from_secs(120));
+        assert_eq!(s.steady_state(), SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn slack_controller_widens_under_misses() {
+        let mut c = SlackController::new(2, 0.01, 100);
+        for _ in 0..100 {
+            c.record(true);
+        }
+        assert!(c.slack_sectors() > 2);
+    }
+
+    #[test]
+    fn slack_controller_narrows_when_clean() {
+        let mut c = SlackController::new(8, 0.01, 100);
+        for _ in 0..300 {
+            c.record(false);
+        }
+        assert!(c.slack_sectors() < 8);
+    }
+
+    #[test]
+    fn slack_controller_respects_bounds() {
+        let mut c = SlackController::new(0, 0.01, 10);
+        for _ in 0..50 {
+            c.record(false);
+        }
+        assert_eq!(c.slack_sectors(), 0);
+        let mut c = SlackController::new(64, 0.01, 10);
+        for _ in 0..1000 {
+            c.record(true);
+        }
+        assert_eq!(c.slack_sectors(), 64);
+    }
+
+    #[test]
+    fn slack_time_scales_with_sector_time() {
+        let c = SlackController::new(4, 0.01, 100);
+        let sector = SimDuration::from_micros(28);
+        assert_eq!(c.slack_time(sector), SimDuration::from_micros(112));
+    }
+}

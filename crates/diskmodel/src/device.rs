@@ -1,0 +1,131 @@
+//! The block-device abstraction (the paper's "SCSI Abstraction Layer").
+//!
+//! The prototype's lowest shared layer hides whether requests hit a real
+//! SCSI drive or the integrated simulator (§3.1, Figure 4). Here the trait
+//! captures the capacity/addressing contract that the array layouts rely
+//! on; [`crate::SimDisk`] is the (only) simulated implementation, and the
+//! array engine in `mimd-core` composes many of them.
+
+use crate::disk::SimDisk;
+
+/// Errors surfaced by block-device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A request addressed sectors beyond the device capacity.
+    OutOfRange {
+        /// First requested sector.
+        lbn: u64,
+        /// Requested length in sectors.
+        sectors: u32,
+        /// Device capacity in sectors.
+        capacity: u64,
+    },
+    /// A request of zero length was submitted.
+    EmptyRequest,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfRange {
+                lbn,
+                sectors,
+                capacity,
+            } => write!(
+                f,
+                "request [{lbn}, {}) exceeds device capacity {capacity}",
+                lbn + *sectors as u64
+            ),
+            DeviceError::EmptyRequest => write!(f, "zero-length request"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Capacity/addressing contract of a block device.
+pub trait BlockDevice {
+    /// Addressable capacity in sectors.
+    fn capacity_sectors(&self) -> u64;
+
+    /// Bytes per sector.
+    fn sector_bytes(&self) -> u32;
+
+    /// Validates that a request fits the device.
+    fn check_range(&self, lbn: u64, sectors: u32) -> Result<(), DeviceError> {
+        if sectors == 0 {
+            return Err(DeviceError::EmptyRequest);
+        }
+        let cap = self.capacity_sectors();
+        if lbn >= cap || cap - lbn < sectors as u64 {
+            return Err(DeviceError::OutOfRange {
+                lbn,
+                sectors,
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl BlockDevice for SimDisk {
+    fn capacity_sectors(&self) -> u64 {
+        self.geometry().total_sectors()
+    }
+
+    fn sector_bytes(&self) -> u32 {
+        512
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{PositionKnowledge, TimingPath};
+    use crate::params::DiskParams;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(
+            DiskParams::st39133lwv(),
+            TimingPath::Detailed,
+            PositionKnowledge::Perfect,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let d = disk();
+        assert_eq!(d.capacity_sectors(), d.geometry().total_sectors());
+        assert_eq!(d.sector_bytes(), 512);
+    }
+
+    #[test]
+    fn range_checks() {
+        let d = disk();
+        let cap = d.capacity_sectors();
+        assert!(d.check_range(0, 1).is_ok());
+        assert!(d.check_range(cap - 8, 8).is_ok());
+        assert!(matches!(
+            d.check_range(cap - 8, 9),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.check_range(cap, 1),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert_eq!(d.check_range(0, 0), Err(DeviceError::EmptyRequest));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = DeviceError::OutOfRange {
+            lbn: 10,
+            sectors: 5,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("exceeds"));
+        assert!(DeviceError::EmptyRequest.to_string().contains("zero"));
+    }
+}

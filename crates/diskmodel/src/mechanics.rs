@@ -1,0 +1,145 @@
+//! Rotational mechanics helpers shared by the disk and calibration layers.
+
+use mimd_sim::{SimDuration, SimTime};
+
+/// Reduces an angle to the canonical `[0, 1)` revolution fraction.
+pub fn mod1(x: f64) -> f64 {
+    let r = x.rem_euclid(1.0);
+    if r >= 1.0 {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// A constant-speed spindle: maps instants to platter phase.
+///
+/// Phase 0 is the spindle index mark at `t = 0`. Real spindles drift; the
+/// calibration module models drift separately — the service-time path uses
+/// this ideal clock, which is what the drive's own servo also presents to
+/// the host at the timescale of a single request.
+#[derive(Debug, Clone, Copy)]
+pub struct Spindle {
+    period: SimDuration,
+}
+
+impl Spindle {
+    /// Creates a spindle with the given rotation period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(
+            period > SimDuration::ZERO,
+            "rotation period must be positive"
+        );
+        Spindle { period }
+    }
+
+    /// Full-rotation time.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Platter phase (fraction of a revolution) at instant `t`.
+    pub fn angle_at(&self, t: SimTime) -> f64 {
+        let p = self.period.as_nanos();
+        (t.as_nanos() % p) as f64 / p as f64
+    }
+
+    /// Time to wait from instant `t` until the platter reaches `target`
+    /// phase. Zero if the target is exactly under the head.
+    pub fn wait_until_angle(&self, t: SimTime, target: f64) -> SimDuration {
+        let delta = mod1(target - self.angle_at(t));
+        SimDuration::from_nanos((delta * self.period.as_nanos() as f64).round() as u64)
+    }
+
+    /// Duration of a rotational arc of `frac` revolutions (`frac >= 0`).
+    pub fn arc(&self, frac: f64) -> SimDuration {
+        debug_assert!(frac >= 0.0);
+        SimDuration::from_nanos((frac * self.period.as_nanos() as f64).round() as u64)
+    }
+}
+
+/// Decomposition of one physical request's service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceBreakdown {
+    /// Fixed command/controller overhead.
+    pub overhead: SimDuration,
+    /// Arm positioning time (including any write settle).
+    pub seek: SimDuration,
+    /// Rotational wait for the target to come under the head, including a
+    /// full-rotation miss penalty when head tracking mispredicted.
+    pub rotation: SimDuration,
+    /// Media transfer time, including head switches mid-transfer.
+    pub transfer: SimDuration,
+    /// Whether a rotational-prediction miss added a full extra revolution.
+    pub missed_rotation: bool,
+}
+
+impl ServiceBreakdown {
+    /// Total service time.
+    pub fn total(&self) -> SimDuration {
+        self.overhead + self.seek + self.rotation + self.transfer
+    }
+
+    /// Positioning time only (seek + rotation), the quantity SATF orders by.
+    pub fn positioning(&self) -> SimDuration {
+        self.seek + self.rotation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod1_wraps_both_directions() {
+        assert_eq!(mod1(0.25), 0.25);
+        assert_eq!(mod1(1.25), 0.25);
+        assert_eq!(mod1(-0.25), 0.75);
+        assert_eq!(mod1(0.0), 0.0);
+        assert_eq!(mod1(3.0), 0.0);
+    }
+
+    #[test]
+    fn spindle_angle_advances_linearly() {
+        let s = Spindle::new(SimDuration::from_millis(6));
+        assert_eq!(s.angle_at(SimTime::ZERO), 0.0);
+        assert!((s.angle_at(SimTime::from_millis(3)) - 0.5).abs() < 1e-12);
+        assert!((s.angle_at(SimTime::from_millis(9)) - 0.5).abs() < 1e-12);
+        assert!((s.angle_at(SimTime::from_micros(1_500)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_until_angle_is_forward_only() {
+        let s = Spindle::new(SimDuration::from_millis(6));
+        let t = SimTime::from_millis(3); // Phase 0.5.
+        assert_eq!(s.wait_until_angle(t, 0.75), SimDuration::from_micros(1_500));
+        // Going "backwards" costs most of a revolution.
+        assert_eq!(s.wait_until_angle(t, 0.25), SimDuration::from_micros(4_500));
+        assert_eq!(s.wait_until_angle(t, 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arc_scales_with_fraction() {
+        let s = Spindle::new(SimDuration::from_millis(6));
+        assert_eq!(s.arc(0.5), SimDuration::from_millis(3));
+        assert_eq!(s.arc(2.0), SimDuration::from_millis(12));
+        assert_eq!(s.arc(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = ServiceBreakdown {
+            overhead: SimDuration::from_micros(500),
+            seek: SimDuration::from_micros(2_000),
+            rotation: SimDuration::from_micros(1_500),
+            transfer: SimDuration::from_micros(250),
+            missed_rotation: false,
+        };
+        assert_eq!(b.total(), SimDuration::from_micros(4_250));
+        assert_eq!(b.positioning(), SimDuration::from_micros(3_500));
+    }
+}

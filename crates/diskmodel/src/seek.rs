@@ -1,0 +1,300 @@
+//! The seek-time profile and its numeric calibration.
+//!
+//! Following Ruemmler & Wilkes, seek time is modelled in two regimes: an
+//! acceleration-dominated region where time grows with the square root of
+//! distance, and a coast region where it is linear ("seek latency is
+//! approximately a linear function of seek distance only for long seeks",
+//! §2.1). The profile is
+//!
+//! ```text
+//! t(d) = a + b * sqrt(d)            for 1 <= d <= d0
+//! t(d) = t(d0) + (b / (2*sqrt(d0))) * (d - d0)   for d > d0
+//! ```
+//!
+//! which is continuous and has a continuous derivative at the regime
+//! boundary `d0`. [`SeekProfile::fit`] solves for `(a, b, d0)` numerically
+//! so that the profile reproduces a drive's published minimum, average, and
+//! maximum seek times — the same calibration the paper's prototype performs
+//! against live hardware (§3.2).
+
+use mimd_sim::SimDuration;
+
+use crate::params::DiskParams;
+
+/// A calibrated two-regime seek-time curve.
+#[derive(Debug, Clone)]
+pub struct SeekProfile {
+    /// Intercept of the sqrt regime, in microseconds.
+    a_us: f64,
+    /// Coefficient of the sqrt regime, in microseconds per sqrt(cylinder).
+    b_us: f64,
+    /// Regime-boundary distance in cylinders.
+    d0: f64,
+    /// Total cylinders (domain of the curve).
+    cylinders: u32,
+    /// Extra settle time for writes, in microseconds.
+    write_settle_us: f64,
+}
+
+impl SeekProfile {
+    /// Fits a profile to a drive's published seek figures.
+    ///
+    /// Solves for the curve that passes through `min_seek` at distance 1 and
+    /// `max_seek` at the full stroke, whose *expected* seek time over
+    /// uniformly random cylinder pairs equals `avg_seek`. Returns an error
+    /// string if the target average is unreachable for the given endpoints
+    /// (it must lie between the purely-linear and purely-sqrt extremes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mimd_disk::{DiskParams, SeekProfile};
+    ///
+    /// let p = DiskParams::st39133lwv();
+    /// let s = SeekProfile::fit(&p).unwrap();
+    /// let avg = s.expected_random_seek(p.total_cylinders());
+    /// assert!((avg.as_millis_f64() - 5.2).abs() < 0.02);
+    /// ```
+    pub fn fit(params: &DiskParams) -> Result<Self, String> {
+        params.validate()?;
+        let c = params.total_cylinders() as f64;
+        let min = params.min_seek.as_micros_f64();
+        let avg = params.avg_seek.as_micros_f64();
+        let max = params.max_seek.as_micros_f64();
+        if !(min < avg && avg < max) {
+            return Err("seek fit requires min < avg < max".into());
+        }
+
+        // For a candidate boundary d0, the endpoint constraints determine a
+        // and b in closed form; the expected seek is then evaluated
+        // numerically. avg(d0) is monotonically increasing in d0 (more
+        // sqrt-like curves bow upward), so bisection applies.
+        let solve = |d0: f64| -> (f64, f64) {
+            let denom = d0.sqrt() - 1.0 + (c - d0) / (2.0 * d0.sqrt());
+            let b = (max - min) / denom;
+            let a = min - b;
+            (a, b)
+        };
+        let avg_of = |d0: f64| -> f64 {
+            let (a, b) = solve(d0);
+            let prof = SeekProfile {
+                a_us: a,
+                b_us: b,
+                d0,
+                cylinders: params.total_cylinders(),
+                write_settle_us: 0.0,
+            };
+            prof.numeric_expected_random_seek_us(c)
+        };
+
+        let mut lo = 1.5;
+        let mut hi = c - 1.0;
+        let (avg_lo, avg_hi) = (avg_of(lo), avg_of(hi));
+        if avg < avg_lo - 1.0 || avg > avg_hi + 1.0 {
+            return Err(format!(
+                "average seek {avg:.0}us unreachable; fit range is [{avg_lo:.0}, {avg_hi:.0}]us"
+            ));
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if avg_of(mid) < avg {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let d0 = 0.5 * (lo + hi);
+        let (a, b) = solve(d0);
+        if b <= 0.0 || a < 0.0 {
+            return Err("fit produced a non-physical curve".into());
+        }
+        Ok(SeekProfile {
+            a_us: a,
+            b_us: b,
+            d0,
+            cylinders: params.total_cylinders(),
+            write_settle_us: params.write_settle.as_micros_f64(),
+        })
+    }
+
+    fn time_us(&self, distance: f64) -> f64 {
+        if distance <= 0.0 {
+            return 0.0;
+        }
+        let d = distance.max(1.0);
+        if d <= self.d0 {
+            self.a_us + self.b_us * d.sqrt()
+        } else {
+            let at_d0 = self.a_us + self.b_us * self.d0.sqrt();
+            at_d0 + self.b_us / (2.0 * self.d0.sqrt()) * (d - self.d0)
+        }
+    }
+
+    /// Read-seek time for a cylinder distance.
+    pub fn seek(&self, distance: u32) -> SimDuration {
+        SimDuration::from_micros_f64(self.time_us(distance as f64))
+    }
+
+    /// Write-seek time: read seek plus the write settle penalty.
+    ///
+    /// The settle is charged whenever the arm repositions (`distance > 0`);
+    /// a zero-distance write pays nothing extra here.
+    pub fn seek_write(&self, distance: u32) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros_f64(self.time_us(distance as f64) + self.write_settle_us)
+    }
+
+    /// The regime-boundary distance found by the fit.
+    pub fn boundary(&self) -> f64 {
+        self.d0
+    }
+
+    /// Expected seek time when both endpoints are uniform over a span of
+    /// `span` cylinders (numeric integration against the triangular distance
+    /// density `f(x) = 2(span - x) / span^2`).
+    ///
+    /// With `span` equal to the whole drive this reproduces the drive's
+    /// average seek; with `span = C / Ds` it gives the average seek of one
+    /// stripe of a `Ds`-way striped layout — the quantity the paper's
+    /// Equation (1) approximates as `S / (3 Ds)`.
+    pub fn expected_random_seek(&self, span: u32) -> SimDuration {
+        SimDuration::from_micros_f64(self.numeric_expected_random_seek_us(span as f64))
+    }
+
+    fn numeric_expected_random_seek_us(&self, span: f64) -> f64 {
+        if span <= 1.0 {
+            return 0.0;
+        }
+        // Trapezoidal integration of t(x) * 2(span - x)/span^2 over [0, span].
+        let steps = 4_000usize;
+        let h = span / steps as f64;
+        let f = |x: f64| self.time_us(x) * 2.0 * (span - x) / (span * span);
+        let mut acc = 0.5 * (f(0.0) + f(span));
+        for i in 1..steps {
+            acc += f(i as f64 * h);
+        }
+        acc * h
+    }
+
+    /// Maximum (full-stroke) seek time for this profile's domain.
+    pub fn max_seek(&self) -> SimDuration {
+        self.seek(self.cylinders.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted() -> (DiskParams, SeekProfile) {
+        let p = DiskParams::st39133lwv();
+        let s = SeekProfile::fit(&p).expect("fit succeeds");
+        (p, s)
+    }
+
+    #[test]
+    fn fit_reproduces_published_endpoints() {
+        let (p, s) = fitted();
+        let min = s.seek(1).as_millis_f64();
+        let max = s.seek(p.total_cylinders() - 1).as_millis_f64();
+        assert!((min - p.min_seek.as_millis_f64()).abs() < 0.01, "min {min}");
+        assert!((max - p.max_seek.as_millis_f64()).abs() < 0.02, "max {max}");
+    }
+
+    #[test]
+    fn fit_reproduces_published_average() {
+        let (p, s) = fitted();
+        let avg = s.expected_random_seek(p.total_cylinders()).as_millis_f64();
+        assert!((avg - 5.2).abs() < 0.02, "avg {avg}");
+    }
+
+    #[test]
+    fn seek_zero_distance_is_free() {
+        let (_, s) = fitted();
+        assert_eq!(s.seek(0), SimDuration::ZERO);
+        assert_eq!(s.seek_write(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seek_is_monotone_in_distance() {
+        let (p, s) = fitted();
+        let mut prev = SimDuration::ZERO;
+        for d in [
+            1,
+            2,
+            5,
+            10,
+            50,
+            100,
+            500,
+            1000,
+            3000,
+            p.total_cylinders() - 1,
+        ] {
+            let t = s.seek(d);
+            assert!(t > prev, "t({d}) = {t} not increasing");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn write_seek_adds_settle() {
+        let (p, s) = fitted();
+        let r = s.seek(100);
+        let w = s.seek_write(100);
+        assert_eq!(w - r, p.write_settle);
+    }
+
+    #[test]
+    fn striped_span_shrinks_average_seek() {
+        let (p, s) = fitted();
+        let c = p.total_cylinders();
+        let full = s.expected_random_seek(c);
+        let half = s.expected_random_seek(c / 2);
+        let sixth = s.expected_random_seek(c / 6);
+        assert!(half < full);
+        assert!(sixth < half);
+        // Sub-linear: at short spans the sqrt regime dominates, so a 6x
+        // smaller span shrinks the average seek by less than 6x.
+        assert!(sixth.as_micros_f64() > full.as_micros_f64() / 6.0);
+    }
+
+    #[test]
+    fn curve_is_continuous_at_boundary() {
+        let (_, s) = fitted();
+        let d0 = s.boundary();
+        let before = s.time_us(d0 - 0.01);
+        let after = s.time_us(d0 + 0.01);
+        assert!(
+            (before - after).abs() < 1.0,
+            "jump at d0: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        let mut p = DiskParams::st39133lwv();
+        p.avg_seek = p.min_seek;
+        assert!(SeekProfile::fit(&p).is_err());
+
+        // Average below the linear-curve floor is unreachable.
+        let mut p = DiskParams::st39133lwv();
+        p.avg_seek = SimDuration::from_micros(1_000);
+        assert!(SeekProfile::fit(&p).is_err());
+    }
+
+    #[test]
+    fn fit_handles_ablation_presets() {
+        for p in [DiskParams::slow_spindle_7200(), DiskParams::slow_seek()] {
+            let s = SeekProfile::fit(&p).expect("ablation preset fits");
+            let avg = s.expected_random_seek(p.total_cylinders());
+            let want = p.avg_seek.as_millis_f64();
+            assert!(
+                (avg.as_millis_f64() - want).abs() < 0.05,
+                "avg {avg} vs {want}"
+            );
+        }
+    }
+}

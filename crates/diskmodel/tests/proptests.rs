@@ -1,0 +1,168 @@
+//! Property tests for the mechanical disk model.
+
+use proptest::prelude::*;
+
+use mimd_disk::{
+    Chs, DiskParams, Geometry, PositionKnowledge, SeekProfile, SimDisk, Spindle, Target, TimingPath,
+};
+use mimd_sim::{SimDuration, SimTime};
+
+fn geometry() -> Geometry {
+    Geometry::new(&DiskParams::st39133lwv())
+}
+
+fn disk(path: TimingPath) -> SimDisk {
+    SimDisk::new(
+        DiskParams::st39133lwv(),
+        path,
+        PositionKnowledge::Perfect,
+        1,
+    )
+    .expect("valid params")
+}
+
+proptest! {
+    #[test]
+    fn lbn_chs_round_trip(lbn in 0u64..17_795_292) {
+        let g = geometry();
+        let chs = g.lbn_to_chs(lbn).expect("in range");
+        prop_assert!(chs.cylinder < g.total_cylinders());
+        prop_assert!(chs.surface < g.surfaces());
+        prop_assert_eq!(g.chs_to_lbn(chs).expect("valid"), lbn);
+    }
+
+    #[test]
+    fn consecutive_lbns_never_move_backward(lbn in 0u64..17_795_000) {
+        let g = geometry();
+        let a = g.lbn_to_chs(lbn).expect("in range");
+        let b = g.lbn_to_chs(lbn + 1).expect("in range");
+        // Cylinder-major, surface-minor layout: addresses only advance.
+        let ka = (a.cylinder as u64, a.surface as u64, a.sector as u64);
+        let kb = (b.cylinder as u64, b.surface as u64, b.sector as u64);
+        prop_assert!(kb > ka);
+    }
+
+    #[test]
+    fn angles_are_canonical(lbn in 0u64..17_795_292) {
+        let g = geometry();
+        let chs = g.lbn_to_chs(lbn).expect("in range");
+        let angle = g.angle_of(chs).expect("valid");
+        prop_assert!((0.0..1.0).contains(&angle));
+    }
+
+    #[test]
+    fn sector_at_angle_is_a_right_inverse(
+        cylinder in 0u32..6_962,
+        surface in 0u32..12,
+        angle in 0f64..1.0,
+    ) {
+        let g = geometry();
+        let sector = g.sector_at_angle(cylinder, surface, angle).expect("valid");
+        let spt = g.sectors_per_track(cylinder).expect("valid");
+        prop_assert!(sector < spt);
+        // The found sector's start angle is at or just after the request,
+        // within one sector of wrap-around.
+        let got = g
+            .angle_of(Chs { cylinder, surface, sector })
+            .expect("valid");
+        let forward = (got - angle).rem_euclid(1.0);
+        prop_assert!(forward <= 1.0 / spt as f64 + 1e-9, "forward {forward}");
+    }
+
+    #[test]
+    fn seek_time_is_monotone_and_bounded(a in 1u32..6_961, b in 1u32..6_961) {
+        let params = DiskParams::st39133lwv();
+        let profile = SeekProfile::fit(&params).expect("fit");
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(profile.seek(lo) <= profile.seek(hi));
+        prop_assert!(profile.seek(hi) <= params.max_seek + SimDuration::from_micros(30));
+        prop_assert!(profile.seek(lo) >= params.min_seek - SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn spindle_wait_always_lands_on_target(start_ns in 0u64..1u64 << 40, target in 0f64..1.0) {
+        let s = Spindle::new(SimDuration::from_millis(6));
+        let t = SimTime::from_nanos(start_ns);
+        let wait = s.wait_until_angle(t, target);
+        prop_assert!(wait < SimDuration::from_millis(6));
+        let landed = s.angle_at(t + wait);
+        let err = (landed - target).rem_euclid(1.0);
+        let err = err.min(1.0 - err);
+        prop_assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn estimate_equals_begin_under_perfect_knowledge(
+        cylinder in 0u32..6_962,
+        surface in 0u32..12,
+        angle in 0f64..1.0,
+        sectors in 1u32..256,
+        start_us in 0u64..1_000_000,
+        write in any::<bool>(),
+    ) {
+        let mut d = disk(TimingPath::Detailed);
+        let t = Target { cylinder, surface, angle, sectors };
+        let now = SimTime::from_micros(start_us);
+        let est = d.estimate(now, &t, write);
+        let got = d.begin(now, &t, write);
+        prop_assert_eq!(est, got);
+        prop_assert_eq!(d.arm_cylinder(), cylinder);
+        prop_assert_eq!(d.arm_surface(), surface);
+        prop_assert_eq!(d.busy_until(), now + got.total());
+    }
+
+    #[test]
+    fn service_components_are_sane(
+        cylinder in 0u32..6_962,
+        surface in 0u32..12,
+        angle in 0f64..1.0,
+        sectors in 1u32..256,
+    ) {
+        let d = disk(TimingPath::Detailed);
+        let b = d.estimate(SimTime::ZERO, &Target { cylinder, surface, angle, sectors }, false);
+        prop_assert!(b.rotation <= d.rotation_time());
+        prop_assert!(b.transfer > SimDuration::ZERO);
+        // A transfer of n sectors takes at least n sector times at the
+        // densest zone.
+        let min_transfer = SimDuration::from_nanos(
+            (sectors as u64) * d.rotation_time().as_nanos() / 248,
+        );
+        prop_assert!(b.transfer >= min_transfer);
+        prop_assert!(b.total() >= b.positioning());
+    }
+
+    #[test]
+    fn writes_never_cost_less_than_reads(
+        cylinder in 1u32..6_962,
+        angle in 0f64..1.0,
+    ) {
+        let d = disk(TimingPath::Analytic);
+        let t = Target { cylinder, surface: 3, angle, sectors: 8 };
+        let r = d.estimate(SimTime::ZERO, &t, false);
+        let w = d.estimate(SimTime::ZERO, &t, true);
+        prop_assert!(w.seek >= r.seek);
+    }
+
+    #[test]
+    fn phase_offsets_shift_rotation_only(
+        cylinder in 0u32..6_962,
+        angle in 0f64..1.0,
+        offset in 0f64..1.0,
+    ) {
+        let mut a = disk(TimingPath::Analytic);
+        let mut b = disk(TimingPath::Analytic);
+        b.set_phase_offset(offset);
+        let t = Target { cylinder, surface: 0, angle, sectors: 8 };
+        let ea = a.begin(SimTime::ZERO, &t, false);
+        let eb = b.begin(SimTime::ZERO, &t, false);
+        prop_assert_eq!(ea.seek, eb.seek);
+        prop_assert_eq!(ea.transfer, eb.transfer);
+        // Rotation differs by exactly the offset (mod a revolution).
+        let diff_ns = ea.rotation.as_nanos() as i64 - eb.rotation.as_nanos() as i64;
+        let period = a.rotation_time().as_nanos() as i64;
+        let expected = (offset * period as f64) as i64;
+        let delta = (diff_ns - expected).rem_euclid(period);
+        let delta = delta.min(period - delta);
+        prop_assert!(delta < 2_000, "delta {delta} ns");
+    }
+}

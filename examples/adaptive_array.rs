@@ -1,0 +1,99 @@
+//! Adaptive reconfiguration: observe, advise, migrate, win.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example adaptive_array
+//! ```
+//!
+//! The paper's future-work direction (after HP's Ivy): "dynamically tune
+//! the array configuration by observing access patterns". This example
+//! plays a workload whose character shifts mid-stream — a read-heavy
+//! file-server day into a write-heavy batch night — and shows the
+//! [`Advisor`] recommending the right shape for each phase, validated by
+//! simulating both phases on both shapes.
+
+use mimdraid::core::tuner::{Advice, Advisor, WorkloadObserver};
+use mimdraid::core::{ArraySim, EngineConfig, Shape, WriteMode};
+use mimdraid::disk::DiskParams;
+use mimdraid::workload::{SyntheticSpec, Trace};
+
+fn phase_day() -> Trace {
+    // Read-heavy, high-locality interactive traffic.
+    let mut spec = SyntheticSpec::cello_base();
+    spec.read_frac = 0.85;
+    spec.async_write_frac = 0.05;
+    spec.rate_per_sec = 40.0;
+    spec.generate(61, 4_000)
+}
+
+fn phase_night() -> Trace {
+    // Write-heavy batch updates at a punishing rate.
+    let mut spec = SyntheticSpec::tpcc();
+    spec.read_frac = 0.25;
+    spec.rate_per_sec = 900.0;
+    spec.generate(62, 4_000)
+}
+
+fn measure(shape: Shape, trace: &Trace, fg: bool) -> f64 {
+    let mut cfg = EngineConfig::new(shape);
+    if fg {
+        cfg = cfg.with_write_mode(WriteMode::Foreground);
+    }
+    let mut sim = ArraySim::new(cfg, trace.data_sectors).expect("shape fits");
+    sim.run_trace(trace).mean_response_ms()
+}
+
+fn main() {
+    let disks = 6;
+    let day = phase_day();
+    let night = phase_night();
+    let advisor = Advisor::new(DiskParams::st39133lwv(), day.data_sectors);
+
+    let mut shape = Shape::striping(disks); // Naive starting point.
+    println!("starting configuration: {shape}\n");
+
+    for (label, trace, fg) in [
+        ("day (read-heavy)", &day, false),
+        ("night (write-heavy)", &night, true),
+    ] {
+        // Observe the phase through the tuner's window.
+        let mut obs = WorkloadObserver::new(trace.data_sectors, disks);
+        for r in trace.requests() {
+            obs.observe(r);
+        }
+        let profile = obs.snapshot().expect("enough requests");
+        println!(
+            "[{label}] observed: {:.0}/s, {:.0}% reads, L = {:.1}, p = {:.2}",
+            profile.rate_per_sec,
+            profile.read_frac * 100.0,
+            profile.locality,
+            profile.p
+        );
+
+        match advisor.recommend(&profile, shape) {
+            Advice::Stay => println!("  advisor: stay on {shape}"),
+            Advice::Reconfigure {
+                shape: new_shape,
+                predicted_gain,
+                migration,
+            } => {
+                println!(
+                    "  advisor: reconfigure {shape} -> {new_shape} \
+                     (predicted {predicted_gain:.2}x, migration ~{:.0} s)",
+                    migration.as_secs_f64()
+                );
+                let before = measure(shape, trace, fg);
+                let after = measure(new_shape, trace, fg);
+                println!(
+                    "  validated: {shape} = {before:.2} ms, {new_shape} = {after:.2} ms \
+                     ({:.2}x measured)",
+                    before / after
+                );
+                shape = new_shape;
+            }
+        }
+        println!();
+    }
+    println!("final configuration: {shape}");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: configure an SR-Array for a workload and measure it.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow mirrors how the paper says an array should be provisioned:
+//! start from drive characteristics (`S`, `R`) and workload
+//! characteristics (`p`, `L`), let the Section 2 models pick the aspect
+//! ratio, then validate the choice by replaying the workload on the
+//! simulated array.
+
+use mimdraid::core::models::{best_rw_latency, recommend_latency_shape, DiskCharacter};
+use mimdraid::core::{ArraySim, EngineConfig, Shape};
+use mimdraid::disk::DiskParams;
+use mimdraid::workload::{SyntheticSpec, TraceStats};
+
+fn main() {
+    // 1. The drive: the paper's Seagate ST39133LWV (Table 1).
+    let params = DiskParams::st39133lwv();
+    let character = DiskCharacter::from_params(&params);
+    println!(
+        "drive: {} — S = {:.1} ms, R = {:.1} ms",
+        params.model, character.s_ms, character.r_ms
+    );
+
+    // 2. The workload: a Cello-like file-system trace, characterised the
+    //    way the paper's Table 3 does.
+    let trace = SyntheticSpec::cello_base().generate(1, 5_000);
+    let stats = TraceStats::of(&trace);
+    println!(
+        "workload: {} requests, {:.1}% reads, seek locality L = {:.2}",
+        trace.len(),
+        stats.read_frac * 100.0,
+        stats.seek_locality
+    );
+
+    // 3. Ask the models for the right six-disk configuration. Background
+    //    propagation keeps p near 1 at this trace's low rate.
+    let budget = 6;
+    let local = character.with_locality(stats.seek_locality);
+    let shape = recommend_latency_shape(&local, budget, 1.0);
+    let predicted = best_rw_latency(&local, budget, 1.0).expect("p > 0.5") + local.overhead_ms;
+    println!("model recommends a {shape} SR-Array; predicted response ~{predicted:.1} ms");
+
+    // 4. Validate on the simulator, against plain striping.
+    for (label, s) in [
+        ("recommended", shape),
+        ("striping   ", Shape::striping(budget)),
+    ] {
+        let mut sim = ArraySim::new(EngineConfig::new(s), trace.data_sectors)
+            .expect("six disks fit a Cello-sized data set");
+        let report = sim.run_trace(&trace);
+        println!(
+            "{label} {s}: mean response {:.2} ms over {} requests",
+            report.mean_response_ms(),
+            report.completed
+        );
+    }
+}

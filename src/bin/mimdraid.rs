@@ -1,0 +1,234 @@
+//! `mimdraid` — command-line front end to the SR-Array library.
+//!
+//! ```text
+//! mimdraid recommend --disks 6 --locality 4.14 [--p 1.0] [--queue 8]
+//! mimdraid generate  --workload cello-base --requests 20000 --out t.trace
+//! mimdraid stats     --trace t.trace
+//! mimdraid simulate  --shape 2x3x1 --trace t.trace [--scale 2] [--policy rsatf]
+//! mimdraid simulate  --shape 2x3x1 --workload cello-base --requests 5000
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use mimdraid::core::models::{
+    best_rw_latency, recommend_latency_shape, recommend_throughput_shape, DiskCharacter,
+};
+use mimdraid::core::{ArraySim, EngineConfig, Policy, Shape, WriteMode};
+use mimdraid::disk::DiskParams;
+use mimdraid::workload::io::{read_trace, write_trace};
+use mimdraid::workload::{SyntheticSpec, Trace, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mimdraid recommend --disks D --locality L [--p P] [--queue Q]\n  \
+         mimdraid generate --workload <cello-base|cello-disk6|tpcc> --requests N --out FILE [--seed S]\n  \
+         mimdraid stats --trace FILE\n  \
+         mimdraid simulate --shape DSxDRxDM (--trace FILE | --workload NAME [--requests N])\n            \
+         [--scale X] [--policy fcfs|look|satf|rlook|rsatf] [--write-mode fg|bg] [--seed S]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i].strip_prefix("--")?.to_string();
+            let value = raw.get(i + 1)?.clone();
+            flags.push((key, value));
+            i += 2;
+        }
+        Some(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn parse_shape(s: &str) -> Option<Shape> {
+    let parts: Vec<u32> = s
+        .split('x')
+        .map(|p| p.parse().ok())
+        .collect::<Option<_>>()?;
+    match parts.as_slice() {
+        [ds, dr, dm] => Shape::new(*ds, *dr, *dm),
+        [ds, dr] => Shape::new(*ds, *dr, 1),
+        _ => None,
+    }
+}
+
+fn workload_spec(name: &str) -> Option<SyntheticSpec> {
+    match name {
+        "cello-base" => Some(SyntheticSpec::cello_base()),
+        "cello-disk6" => Some(SyntheticSpec::cello_disk6()),
+        "tpcc" => Some(SyntheticSpec::tpcc()),
+        _ => None,
+    }
+}
+
+fn cmd_recommend(args: &Args) -> Result<(), String> {
+    let disks: u32 = args.get_parsed("disks")?.ok_or("--disks is required")?;
+    let locality: f64 = args.get_parsed("locality")?.unwrap_or(1.0);
+    let p: f64 = args.get_parsed("p")?.unwrap_or(1.0);
+    let queue: Option<f64> = args.get_parsed("queue")?;
+    let params = DiskParams::st39133lwv();
+    let raw = DiskCharacter::from_params(&params);
+    let c = raw.with_locality(locality);
+
+    println!(
+        "drive: {} (S = {:.1} ms, R = {:.1} ms; effective S/L = {:.1} ms)",
+        params.model, raw.s_ms, raw.r_ms, c.s_ms
+    );
+    let lat = recommend_latency_shape(&c, disks, p);
+    println!(
+        "latency-optimal shape: {lat}{}",
+        best_rw_latency(&c, disks, p)
+            .map(|t| format!(" (model: {:.2} ms + overhead)", t))
+            .unwrap_or_default()
+    );
+    if let Some(q) = queue {
+        let thr = recommend_throughput_shape(&c, disks, p, q);
+        println!("throughput-optimal shape at q={q}/disk: {thr}");
+    }
+    if p <= 0.5 {
+        println!("note: p <= 0.5 precludes rotational replication (§2.3)");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let name = args.get("workload").ok_or("--workload is required")?;
+    let spec = workload_spec(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let requests: usize = args.get_parsed("requests")?.unwrap_or(20_000);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(42);
+    let out = args.get("out").ok_or("--out is required")?;
+    let trace = spec.generate(seed, requests);
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    write_trace(&trace, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!("wrote {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    if let Some(path) = args.get("trace") {
+        let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        return read_trace(BufReader::new(file)).map_err(|e| e.to_string());
+    }
+    if let Some(name) = args.get("workload") {
+        let spec = workload_spec(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+        let requests: usize = args.get_parsed("requests")?.unwrap_or(10_000);
+        let seed: u64 = args.get_parsed("seed")?.unwrap_or(42);
+        return Ok(spec.generate(seed, requests));
+    }
+    Err("need --trace FILE or --workload NAME".into())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let s = TraceStats::of(&trace);
+    println!("{}", s.table_row(&trace.name));
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let shape = parse_shape(args.get("shape").ok_or("--shape is required")?)
+        .ok_or("bad --shape; expected like 2x3x1")?;
+    let mut trace = load_trace(args)?;
+    if let Some(scale) = args.get_parsed::<f64>("scale")? {
+        trace = trace.scaled(scale);
+    }
+    let mut cfg = EngineConfig::new(shape);
+    if let Some(policy) = args.get("policy") {
+        cfg.policy = match policy {
+            "fcfs" => Policy::Fcfs,
+            "look" => Policy::Look,
+            "satf" => Policy::Satf,
+            "rlook" => Policy::Rlook,
+            "rsatf" => Policy::Rsatf,
+            other => return Err(format!("unknown policy {other:?}")),
+        };
+    }
+    if let Some(mode) = args.get("write-mode") {
+        cfg.write_mode = match mode {
+            "fg" => WriteMode::Foreground,
+            "bg" => WriteMode::Background,
+            other => return Err(format!("unknown write mode {other:?}")),
+        };
+    }
+    if let Some(seed) = args.get_parsed("seed")? {
+        cfg.seed = seed;
+    }
+    let mut sim = ArraySim::new(cfg, trace.data_sectors).map_err(|e| format!("layout: {e}"))?;
+    let mut r = sim.run_trace(&trace);
+    println!(
+        "shape {shape} | policy {} | {} requests",
+        sim_policy(&shape, args),
+        r.completed
+    );
+    println!("  mean response   {:.2} ms", r.mean_response_ms());
+    if let Some(p95) = r.response_percentile_ms(0.95) {
+        println!("  p95  response   {p95:.2} ms");
+    }
+    println!("  reads           {:.2} ms mean", r.read_ms.mean());
+    println!("  sync writes     {:.2} ms mean", r.write_ms.mean());
+    println!("  physical ops    {}", r.phys_requests);
+    println!(
+        "  delayed writes  {} propagated, {} coalesced",
+        r.delayed_propagated, r.delayed_coalesced
+    );
+    if r.failed_requests > 0 {
+        println!("  FAILED requests {}", r.failed_requests);
+    }
+    Ok(())
+}
+
+fn sim_policy(shape: &Shape, args: &Args) -> String {
+    args.get("policy")
+        .map(str::to_uppercase)
+        .unwrap_or_else(|| Policy::default_for_dr(shape.dr).to_string())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(rest) else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "recommend" => cmd_recommend(&args),
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "simulate" => cmd_simulate(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

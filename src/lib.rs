@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the MimdRAID workspace.
+pub use mimd_core as core;
+pub use mimd_disk as disk;
+pub use mimd_sim as sim;
+pub use mimd_workload as workload;

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `mimdraid` command-line tool.
+
+use std::process::Command;
+
+fn mimdraid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mimdraid"))
+}
+
+#[test]
+fn recommend_prints_the_cello_shape() {
+    let out = mimdraid()
+        .args(["recommend", "--disks", "6", "--locality", "4.14"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2x3x1"), "{text}");
+}
+
+#[test]
+fn generate_stats_simulate_round_trip() {
+    let dir = std::env::temp_dir().join("mimdraid-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("t.trace");
+    let path_s = path.to_str().expect("utf-8 path");
+
+    let out = mimdraid()
+        .args([
+            "generate",
+            "--workload",
+            "tpcc",
+            "--requests",
+            "500",
+            "--out",
+            path_s,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = mimdraid()
+        .args(["stats", "--trace", path_s])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("I/Os"), "{text}");
+
+    let out = mimdraid()
+        .args(["simulate", "--shape", "2x3x1", "--trace", path_s])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean response"), "{text}");
+    assert!(text.contains("500 requests"), "{text}");
+}
+
+#[test]
+fn simulate_from_named_workload() {
+    let out = mimdraid()
+        .args([
+            "simulate",
+            "--shape",
+            "3x1x2",
+            "--workload",
+            "cello-base",
+            "--requests",
+            "300",
+            "--policy",
+            "satf",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    for args in [
+        vec!["simulate", "--shape", "nonsense", "--workload", "tpcc"],
+        vec!["simulate", "--shape", "2x3x1"],
+        vec!["recommend"],
+        vec!["generate", "--workload", "unknown", "--out", "/tmp/x"],
+        vec!["frobnicate"],
+    ] {
+        let out = mimdraid().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "accepted {args:?}");
+        assert!(!out.stderr.is_empty(), "silent failure for {args:?}");
+    }
+}

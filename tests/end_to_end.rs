@@ -1,0 +1,145 @@
+//! End-to-end integration: trace generation → model-driven configuration →
+//! array simulation, across crates.
+
+use mimdraid::core::models::{recommend_latency_shape, DiskCharacter};
+use mimdraid::core::{ArraySim, EngineConfig, Policy, Shape, WriteMode};
+use mimdraid::disk::DiskParams;
+use mimdraid::workload::{IometerSpec, SyntheticSpec, TraceStats};
+
+fn character_for(locality: f64) -> DiskCharacter {
+    DiskCharacter::from_params(&DiskParams::st39133lwv()).with_locality(locality)
+}
+
+#[test]
+fn model_configures_the_winning_array_on_cello() {
+    let trace = SyntheticSpec::cello_base().generate(21, 4_000);
+    let stats = TraceStats::of(&trace);
+    let shape = recommend_latency_shape(&character_for(stats.seek_locality), 6, 1.0);
+    assert_eq!((shape.ds, shape.dr, shape.dm), (2, 3, 1));
+
+    let run = |s: Shape| {
+        let mut sim = ArraySim::new(EngineConfig::new(s), trace.data_sectors).expect("fits");
+        sim.run_trace(&trace).mean_response_ms()
+    };
+    let sr = run(shape);
+    let stripe = run(Shape::striping(6));
+    let raid10 = run(Shape::raid10(6).expect("even"));
+    assert!(sr < raid10, "SR {sr} vs RAID-10 {raid10}");
+    assert!(raid10 < stripe, "RAID-10 {raid10} vs stripe {stripe}");
+}
+
+#[test]
+fn every_trace_request_completes_once() {
+    let trace = SyntheticSpec::tpcc().generate(22, 3_000);
+    for shape in [
+        Shape::striping(4),
+        Shape::sr_array(2, 2).expect("valid"),
+        Shape::raid10(4).expect("even"),
+        Shape::mirror(3),
+    ] {
+        let mut sim = ArraySim::new(EngineConfig::new(shape), trace.data_sectors).expect("fits");
+        let r = sim.run_trace(&trace);
+        assert_eq!(r.completed, 3_000, "shape {shape}");
+        assert!(r.response_ms.count() > 0, "shape {shape}");
+    }
+}
+
+#[test]
+fn closed_loop_scales_with_disks_and_queue() {
+    let data = 16_000_000;
+    let spec = IometerSpec::microbench(data, 1.0);
+    let run = |shape: Shape, q: usize| {
+        let mut sim =
+            ArraySim::new(EngineConfig::new(shape).with_perfect_knowledge(), data).expect("fits");
+        sim.run_closed_loop(&spec, q, 3_000).throughput_iops()
+    };
+    let small = run(Shape::sr_array(2, 2).expect("valid"), 8);
+    let large = run(Shape::sr_array(4, 2).expect("valid"), 16);
+    assert!(large > small * 1.3, "4-disk {small} vs 8-disk {large}");
+}
+
+#[test]
+fn background_writes_hide_propagation_latency() {
+    let trace = SyntheticSpec::tpcc().generate(23, 2_000);
+    let shape = Shape::sr_array(3, 2).expect("valid");
+    let run = |mode: WriteMode| {
+        let mut sim = ArraySim::new(
+            EngineConfig::new(shape).with_write_mode(mode),
+            trace.data_sectors,
+        )
+        .expect("fits");
+        sim.run_trace(&trace)
+    };
+    let fg = run(WriteMode::Foreground);
+    let bg = run(WriteMode::Background);
+    assert!(
+        bg.write_ms.mean() < fg.write_ms.mean(),
+        "bg {} vs fg {}",
+        bg.write_ms.mean(),
+        fg.write_ms.mean()
+    );
+    assert!(bg.delayed_propagated > 0);
+}
+
+#[test]
+fn replica_aware_scheduling_beats_primary_only_on_sr_arrays() {
+    let data = 16_000_000;
+    let spec = IometerSpec::microbench(data, 1.0);
+    let shape = Shape::sr_array(2, 3).expect("valid");
+    let run = |policy: Policy| {
+        let mut sim = ArraySim::new(
+            EngineConfig::new(shape)
+                .with_policy(policy)
+                .with_perfect_knowledge(),
+            data,
+        )
+        .expect("fits");
+        sim.run_closed_loop(&spec, 8, 4_000).throughput_iops()
+    };
+    let rsatf = run(Policy::Rsatf);
+    let satf = run(Policy::Satf);
+    let rlook = run(Policy::Rlook);
+    let look = run(Policy::Look);
+    assert!(rsatf > satf, "RSATF {rsatf} vs SATF {satf}");
+    assert!(rlook > look, "RLOOK {rlook} vs LOOK {look}");
+}
+
+#[test]
+fn rate_scaling_drives_saturation() {
+    let trace = SyntheticSpec::cello_base().generate(24, 3_000);
+    let shape = Shape::sr_array(2, 3).expect("valid");
+    let run = |scale: f64| {
+        let t = trace.scaled(scale);
+        let mut sim = ArraySim::new(EngineConfig::new(shape), t.data_sectors).expect("fits");
+        sim.run_trace(&t).mean_response_ms()
+    };
+    let calm = run(1.0);
+    let busy = run(200.0);
+    assert!(busy > calm, "calm {calm} vs busy {busy}");
+}
+
+#[test]
+fn infeasible_layouts_are_rejected_not_mislaid() {
+    // Six-way rotational replication multiplies the footprint by six: more
+    // than six disks' raw capacity of data cannot fit a 1x6 column.
+    let r = ArraySim::new(
+        EngineConfig::new(Shape::sr_array(1, 6).expect("valid")),
+        18_000_000,
+    );
+    assert!(r.is_err());
+    // And a single disk cannot hold more than itself.
+    let r = ArraySim::new(EngineConfig::new(Shape::striping(1)), 18_000_000);
+    assert!(r.is_err());
+}
+
+#[test]
+fn trace_stats_survive_the_pipeline() {
+    // Scaling a trace preserves everything except rates and duration.
+    let trace = SyntheticSpec::cello_disk6().generate(25, 5_000);
+    let s1 = TraceStats::of(&trace);
+    let s2 = TraceStats::of(&trace.scaled(2.0));
+    assert_eq!(s1.ios, s2.ios);
+    assert!((s1.read_frac - s2.read_frac).abs() < 1e-12);
+    assert!((s2.avg_rate / s1.avg_rate - 2.0).abs() < 0.01);
+    assert!((s1.seek_locality - s2.seek_locality).abs() < 1e-9);
+}
