@@ -6,7 +6,7 @@
 //! "forced to disks in both alternatives" but leave their blocks resident,
 //! so the read-after-write traffic of Table 3 becomes cache hits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sectors per cache block (4 KiB).
 pub const CACHE_BLOCK_SECTORS: u64 = 8;
@@ -26,8 +26,9 @@ pub const CACHE_BLOCK_SECTORS: u64 = 8;
 #[derive(Debug)]
 pub struct LruCache {
     capacity_blocks: usize,
-    /// Block id -> LRU stamp.
-    stamps: HashMap<u64, u64>,
+    /// Block id -> LRU stamp. Ordered map so eviction tie-breaks (and
+    /// hence simulated cache contents) are reproducible across runs.
+    stamps: BTreeMap<u64, u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -39,7 +40,7 @@ impl LruCache {
     pub fn new(bytes: u64) -> Self {
         LruCache {
             capacity_blocks: (bytes / (CACHE_BLOCK_SECTORS * 512)) as usize,
-            stamps: HashMap::new(),
+            stamps: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,

@@ -22,7 +22,7 @@
 pub mod cache;
 pub mod report;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use mimd_disk::DiskParams;
 use mimd_disk::{Geometry, PositionKnowledge, SimDisk, Target, TimingPath};
@@ -278,9 +278,9 @@ pub struct ArraySim {
     look: Vec<LookState>,
     inflight: Vec<Option<InFlight>>,
     events: EventQueue<Event>,
-    logicals: HashMap<u64, Logical>,
+    logicals: BTreeMap<u64, Logical>,
     next_logical: u64,
-    dup_started: HashSet<u64>,
+    dup_started: BTreeSet<u64>,
     next_dup: u64,
     nvram: usize,
     cache: Option<LruCache>,
@@ -315,7 +315,7 @@ impl ArraySim {
                 cfg.knowledge,
                 rng.fork().below(u64::MAX),
             )
-            .expect("params validated by layout construction");
+            .map_err(LayoutError::InvalidDiskParams)?;
             if !cfg.sync_spindles {
                 d.set_phase_offset(rng.unit());
             }
@@ -337,9 +337,9 @@ impl ArraySim {
             look: vec![LookState::default(); n],
             inflight: (0..n).map(|_| None).collect(),
             events: EventQueue::new(),
-            logicals: HashMap::new(),
+            logicals: BTreeMap::new(),
             next_logical: 0,
-            dup_started: HashSet::new(),
+            dup_started: BTreeSet::new(),
             next_dup: 0,
             nvram: 0,
             cache,
@@ -720,26 +720,22 @@ impl ArraySim {
         }
 
         // Idle owners first: send to the idle head closest to a copy.
-        let idle: Vec<&(usize, Vec<Replica>)> = groups
+        let idle = groups
             .iter()
             .filter(|(d, _)| self.inflight[*d].is_none() && self.fg[*d].is_empty())
-            .collect();
-        if !idle.is_empty() {
-            let (disk, replicas) = idle
-                .into_iter()
-                .min_by_key(|(d, replicas)| {
-                    replicas
-                        .iter()
-                        .map(|r| {
-                            self.disks[*d]
-                                .estimate(now, &r.target, write)
-                                .positioning()
-                                .as_nanos()
-                        })
-                        .min()
-                        .unwrap_or(u64::MAX)
-                })
-                .expect("idle set non-empty");
+            .min_by_key(|(d, replicas)| {
+                replicas
+                    .iter()
+                    .map(|r| {
+                        self.disks[*d]
+                            .estimate(now, &r.target, write)
+                            .positioning()
+                            .as_nanos()
+                    })
+                    .min()
+                    .unwrap_or(u64::MAX)
+            });
+        if let Some((disk, replicas)) = idle {
             self.enqueue(
                 *disk,
                 Self::task_from_replicas(logical, frag, write, kind, replicas, now),
@@ -879,17 +875,12 @@ impl ArraySim {
                 .filter(|(i, _)| *i != p.candidate)
                 .map(|(_, t)| *t)
                 .collect();
-            while !rest.is_empty() {
-                let (i, _) = rest
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, t)| {
-                        self.disks[disk]
-                            .estimate_chained(end, t, true)
-                            .total()
-                            .as_nanos()
-                    })
-                    .expect("rest non-empty");
+            while let Some((i, _)) = rest.iter().enumerate().min_by_key(|(_, t)| {
+                self.disks[disk]
+                    .estimate_chained(end, t, true)
+                    .total()
+                    .as_nanos()
+            }) {
                 let b = self.disks[disk].begin_chained(end, &rest[i], true);
                 end += b.total();
                 rest.swap_remove(i);

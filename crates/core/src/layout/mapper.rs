@@ -118,12 +118,41 @@ impl DataMapper {
         let per_cyl = self.groups_per_cylinder as u64 * z.spt as u64;
         let cyl_rel = (rel / per_cyl) as u32;
         let in_cyl = rel % per_cyl;
-        Some(TrackLoc {
+        let loc = TrackLoc {
             cylinder: z.first_cylinder + cyl_rel,
             group: (in_cyl / z.spt as u64) as u32,
             sector: (in_cyl % z.spt as u64) as u32,
             spt: z.spt,
-        })
+        };
+        mimd_sim::sim_invariant!(
+            self.index_of(loc) == Some(data_sector),
+            "data-sector<->track bijectivity broke: {data_sector} locates to {loc:?} \
+             which maps back to {:?}",
+            self.index_of(loc)
+        );
+        Some(loc)
+    }
+
+    /// Inverse of [`DataMapper::locate`]: the linear data index of a track
+    /// location, or `None` for a location this mapper never produces.
+    pub fn index_of(&self, loc: TrackLoc) -> Option<u64> {
+        if loc.group >= self.groups_per_cylinder {
+            return None;
+        }
+        let idx = self
+            .zones
+            .partition_point(|z| z.first_cylinder + z.cylinders <= loc.cylinder);
+        let z = self.zones.get(idx)?;
+        if loc.cylinder < z.first_cylinder || loc.spt != z.spt || loc.sector >= z.spt {
+            return None;
+        }
+        let per_cyl = self.groups_per_cylinder as u64 * z.spt as u64;
+        Some(
+            z.first_data_sector
+                + (loc.cylinder - z.first_cylinder) as u64 * per_cyl
+                + loc.group as u64 * z.spt as u64
+                + loc.sector as u64,
+        )
     }
 
     /// Number of cylinders a contiguous prefix of `data_sectors` occupies
@@ -206,6 +235,36 @@ mod tests {
         assert_eq!(first.cylinder, 633);
         assert_eq!(first.spt, 241);
         assert_eq!((first.group, first.sector), (0, 0));
+    }
+
+    #[test]
+    fn index_of_rejects_foreign_locations() {
+        let g = geom();
+        let m = DataMapper::new(&g, 3).unwrap();
+        let loc = m.locate(12_345).unwrap();
+        assert_eq!(m.index_of(loc), Some(12_345));
+        assert_eq!(m.index_of(TrackLoc { group: 99, ..loc }), None);
+        assert_eq!(
+            m.index_of(TrackLoc {
+                spt: loc.spt + 1,
+                ..loc
+            }),
+            None
+        );
+        assert_eq!(
+            m.index_of(TrackLoc {
+                sector: loc.spt,
+                ..loc
+            }),
+            None
+        );
+        assert_eq!(
+            m.index_of(TrackLoc {
+                cylinder: g.total_cylinders(),
+                ..loc
+            }),
+            None
+        );
     }
 
     #[test]

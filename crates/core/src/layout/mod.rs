@@ -59,6 +59,8 @@ pub enum LayoutError {
     },
     /// Zero-sized data set or stripe unit.
     Degenerate,
+    /// The drive parameters the layout targets are not realisable.
+    InvalidDiskParams(String),
 }
 
 impl std::fmt::Display for LayoutError {
@@ -74,6 +76,9 @@ impl std::fmt::Display for LayoutError {
                 )
             }
             LayoutError::Degenerate => write!(f, "zero-sized data set or stripe unit"),
+            LayoutError::InvalidDiskParams(why) => {
+                write!(f, "invalid disk parameters: {why}")
+            }
         }
     }
 }
@@ -323,7 +328,34 @@ impl Layout {
                 });
             }
         }
+        #[cfg(debug_assertions)]
+        self.check_replica_spacing(&out);
         out
+    }
+
+    /// Debug invariant: with deterministic placement, consecutive
+    /// rotational replicas of one mirror copy sit exactly `1/Dr` of a
+    /// revolution apart — the geometric premise of the paper's `R/Dr`
+    /// expected-rotational-delay model (Equation 2).
+    #[cfg(debug_assertions)]
+    fn check_replica_spacing(&self, replicas: &[Replica]) {
+        if matches!(self.placement, ReplicaPlacement::Random) {
+            return;
+        }
+        let step = 1.0 / self.shape.dr as f64;
+        for pair in replicas.windows(2) {
+            if pair[0].mirror != pair[1].mirror {
+                continue;
+            }
+            let gap = (pair[1].target.angle - pair[0].target.angle).rem_euclid(1.0);
+            mimd_sim::sim_invariant!(
+                (gap - step).abs() < 1e-9,
+                "rotational replicas {} and {} of mirror {} sit {gap} apart, expected {step}",
+                pair[0].replica,
+                pair[1].replica,
+                pair[0].mirror
+            );
+        }
     }
 
     /// Write placements grouped per mirror disk: `Dm` groups of `Dr`
@@ -335,7 +367,7 @@ impl Layout {
         (0..self.shape.dm)
             .map(|m| {
                 let disk = self.disk_index(column, row, m);
-                let replicas = (0..self.shape.dr)
+                let replicas: Vec<Replica> = (0..self.shape.dr)
                     .map(|k| Replica {
                         disk,
                         target: self.replica_target(loc, k, m, frag.sectors),
@@ -343,6 +375,8 @@ impl Layout {
                         mirror: m as u8,
                     })
                     .collect();
+                #[cfg(debug_assertions)]
+                self.check_replica_spacing(&replicas);
                 (disk, replicas)
             })
             .collect()

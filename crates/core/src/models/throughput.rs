@@ -70,7 +70,7 @@ pub fn predict_throughput_iops(c: &DiskCharacter, ds: u32, dr: u32, p: f64, q_to
         rw_latency(c, ds, dr, p)
     };
     let n1_per_ms = single_disk_throughput(c.overhead_ms, t);
-    array_throughput(d, q_total, n1_per_ms) * 1_000.0
+    array_throughput(d, q_total, n1_per_ms) * mimd_sim::time::MILLIS_PER_SEC
 }
 
 #[cfg(test)]

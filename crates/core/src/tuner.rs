@@ -146,7 +146,8 @@ impl WorkloadObserver {
         };
         let read_frac = self.reads as f64 / n as f64;
         let sync_write_frac = self.sync_writes as f64 / n as f64;
-        let utilisation = rate * self.service_ms / 1_000.0 / self.disks as f64;
+        let utilisation =
+            rate * self.service_ms / mimd_sim::time::MILLIS_PER_SEC / self.disks as f64;
         let foreground_share = ((utilisation - 0.5) / 0.5).clamp(0.0, 1.0);
         let p = 1.0 - sync_write_frac * foreground_share;
         Some(WorkloadProfile {

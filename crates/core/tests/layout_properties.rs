@@ -1,0 +1,106 @@
+//! Property tests for the layout's logical→physical mapping, driven by the
+//! deterministic in-repo harness (`mimd_sim::check`).
+
+use mimd_core::layout::{DataMapper, TrackLoc};
+use mimd_disk::{DiskParams, Geometry};
+use mimd_sim::check::check_cases;
+use mimd_sim::SimRng;
+
+fn geometry() -> Geometry {
+    Geometry::new(&DiskParams::st39133lwv())
+}
+
+fn arb_mapper(rng: &mut SimRng, g: &Geometry) -> DataMapper {
+    let dr = 1 + rng.below(g.surfaces() as u64) as u32;
+    DataMapper::new(g, dr).expect("1 <= dr <= surfaces is always accepted")
+}
+
+#[test]
+fn locate_round_trips_for_every_data_sector() {
+    check_cases("locate round trips for every data sector", 64, |_, rng| {
+        let g = geometry();
+        let m = arb_mapper(rng, &g);
+        for _ in 0..64 {
+            let s = rng.below(m.capacity());
+            let loc = m.locate(s).expect("within capacity");
+            assert_eq!(
+                m.index_of(loc),
+                Some(s),
+                "dr={} sector {s} -> {loc:?}",
+                m.dr()
+            );
+        }
+        // Capacity edges round trip too.
+        for s in [0, m.capacity() - 1] {
+            let loc = m.locate(s).expect("within capacity");
+            assert_eq!(m.index_of(loc), Some(s));
+        }
+    });
+}
+
+#[test]
+fn locate_is_injective_across_distinct_sectors() {
+    check_cases(
+        "locate is injective across distinct sectors",
+        64,
+        |_, rng| {
+            let g = geometry();
+            let m = arb_mapper(rng, &g);
+            let a = rng.below(m.capacity());
+            let b = rng.below(m.capacity());
+            if a == b {
+                return;
+            }
+            let la = m.locate(a).expect("within capacity");
+            let lb = m.locate(b).expect("within capacity");
+            assert_ne!(la, lb, "sectors {a} and {b} collided at {la:?}");
+        },
+    );
+}
+
+#[test]
+fn located_tracks_are_physically_realisable() {
+    check_cases("located tracks are physically realisable", 64, |_, rng| {
+        let g = geometry();
+        let m = arb_mapper(rng, &g);
+        let s = rng.below(m.capacity());
+        let loc = m.locate(s).expect("within capacity");
+        // Every replica surface of the group exists on the drive, and the
+        // track really has `spt` sectors at that cylinder.
+        assert!(loc.cylinder < g.total_cylinders());
+        assert_eq!(g.sectors_per_track(loc.cylinder), Some(loc.spt));
+        assert!(loc.sector < loc.spt);
+        assert!((loc.group + 1) * m.dr() <= g.surfaces());
+    });
+}
+
+#[test]
+fn foreign_locations_are_rejected() {
+    check_cases("foreign locations are rejected", 64, |_, rng| {
+        let g = geometry();
+        let m = arb_mapper(rng, &g);
+        let s = rng.below(m.capacity());
+        let loc = m.locate(s).expect("within capacity");
+        assert_eq!(
+            m.index_of(TrackLoc {
+                group: m.groups_per_cylinder(),
+                ..loc
+            }),
+            None
+        );
+        assert_eq!(
+            m.index_of(TrackLoc {
+                sector: loc.spt,
+                ..loc
+            }),
+            None
+        );
+        assert_eq!(
+            m.index_of(TrackLoc {
+                cylinder: g.total_cylinders(),
+                ..loc
+            }),
+            None
+        );
+    });
+}

@@ -1,6 +1,5 @@
-//! Property tests for the Section 2 models and the optimizer.
-
-use proptest::prelude::*;
+//! Property tests for the Section 2 models and the optimizer, driven by
+//! the deterministic in-repo harness (`mimd_sim::check`).
 
 use mimd_core::models::{
     best_read_latency, best_rlook_time, best_rw_latency, optimal_read_aspect, optimal_rw_aspect,
@@ -8,141 +7,189 @@ use mimd_core::models::{
     rw_latency, DiskCharacter, MAX_DR,
 };
 use mimd_core::Shape;
+use mimd_sim::check::{check_cases, f64_in};
+use mimd_sim::SimRng;
 
-fn arb_character() -> impl Strategy<Value = DiskCharacter> {
-    (4.0f64..30.0, 3.0f64..12.0, 0.2f64..4.0).prop_map(|(s, r, o)| DiskCharacter {
-        s_ms: s,
-        r_ms: r,
-        overhead_ms: o,
-    })
+fn arb_character(rng: &mut SimRng) -> DiskCharacter {
+    DiskCharacter {
+        s_ms: f64_in(rng, 4.0, 30.0),
+        r_ms: f64_in(rng, 3.0, 12.0),
+        overhead_ms: f64_in(rng, 0.2, 4.0),
+    }
 }
 
-proptest! {
-    #[test]
-    fn continuous_optimum_product_is_d(c in arb_character(), d in 1u32..64) {
+#[test]
+fn continuous_optimum_product_is_d() {
+    check_cases("continuous optimum product is d", 256, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
         let (ds, dr) = optimal_read_aspect(&c, d);
-        prop_assert!((ds * dr - d as f64).abs() < 1e-6);
-        prop_assert!(ds > 0.0 && dr > 0.0);
-    }
+        assert!((ds * dr - d as f64).abs() < 1e-6);
+        assert!(ds > 0.0 && dr > 0.0);
+    });
+}
 
-    #[test]
-    fn eq6_is_a_lower_envelope_of_eq4(c in arb_character(), d in 1u32..64) {
+#[test]
+fn eq6_is_a_lower_envelope_of_eq4() {
+    check_cases("eq6 is a lower envelope of eq4", 128, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
         let best = best_read_latency(&c, d);
         for shape in Shape::enumerate_sr(d, d.max(1)) {
             let t = read_latency(&c, shape.ds, shape.dr);
-            prop_assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
+            assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn eq11_is_a_lower_envelope_of_eq9(c in arb_character(), d in 1u32..64, p in 0.51f64..1.0) {
+#[test]
+fn eq11_is_a_lower_envelope_of_eq9() {
+    check_cases("eq11 is a lower envelope of eq9", 128, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
+        let p = f64_in(rng, 0.51, 1.0);
         let best = best_rw_latency(&c, d, p).expect("p > 0.5");
         for shape in Shape::enumerate_sr(d, d.max(1)) {
             let t = rw_latency(&c, shape.ds, shape.dr, p);
-            prop_assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
+            assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn eq14_is_a_lower_envelope_of_eq12(
-        c in arb_character(),
-        d in 1u32..64,
-        p in 0.51f64..1.0,
-        q in 3.1f64..64.0,
-    ) {
+#[test]
+fn eq14_is_a_lower_envelope_of_eq12() {
+    check_cases("eq14 is a lower envelope of eq12", 128, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
+        let p = f64_in(rng, 0.51, 1.0);
+        let q = f64_in(rng, 3.1, 64.0);
         let best = best_rlook_time(&c, d, p, q).expect("p > 0.5");
         for shape in Shape::enumerate_sr(d, d.max(1)) {
             let t = rlook_request_time(&c, shape.ds, shape.dr, p, q);
-            prop_assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
+            assert!(t >= best - 1e-9, "{shape}: {t} < {best}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn latency_improves_monotonically_with_budget(c in arb_character(), p in 0.6f64..1.0) {
-        let mut prev = f64::INFINITY;
-        for d in 1..=32u32 {
-            let t = best_rw_latency(&c, d, p).expect("p > 0.5");
-            prop_assert!(t <= prev + 1e-12, "d={d}");
-            prev = t;
-        }
-    }
+#[test]
+fn latency_improves_monotonically_with_budget() {
+    check_cases(
+        "latency improves monotonically with budget",
+        128,
+        |_, rng| {
+            let c = arb_character(rng);
+            let p = f64_in(rng, 0.6, 1.0);
+            let mut prev = f64::INFINITY;
+            for d in 1..=32u32 {
+                let t = best_rw_latency(&c, d, p).expect("p > 0.5");
+                assert!(t <= prev + 1e-12, "d={d}");
+                prev = t;
+            }
+        },
+    );
+}
 
-    #[test]
-    fn recommendation_is_well_formed(c in arb_character(), d in 1u32..64, p in 0.0f64..1.0) {
+#[test]
+fn recommendation_is_well_formed() {
+    check_cases("recommendation is well formed", 256, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
+        let p = rng.unit();
         let s = recommend_latency_shape(&c, d, p);
-        prop_assert_eq!(s.disks(), d);
-        prop_assert_eq!(s.dm, 1);
-        prop_assert!(s.dr <= MAX_DR || s.dr == 1);
-        prop_assert_eq!(d % s.dr, 0);
+        assert_eq!(s.disks(), d);
+        assert_eq!(s.dm, 1);
+        assert!(s.dr <= MAX_DR || s.dr == 1);
+        assert_eq!(d % s.dr, 0);
         if p <= 0.5 {
-            prop_assert_eq!(s, Shape::striping(d));
+            assert_eq!(s, Shape::striping(d));
         }
-    }
+    });
+}
 
-    #[test]
-    fn throughput_recommendation_is_well_formed(
-        c in arb_character(),
-        d in 1u32..64,
-        p in 0.0f64..1.0,
-        q in 0.5f64..64.0,
-    ) {
+#[test]
+fn throughput_recommendation_is_well_formed() {
+    check_cases("throughput recommendation is well formed", 256, |_, rng| {
+        let c = arb_character(rng);
+        let d = rng.range(1, 64) as u32;
+        let p = rng.unit();
+        let q = f64_in(rng, 0.5, 64.0);
         let s = recommend_throughput_shape(&c, d, p, q);
-        prop_assert_eq!(s.disks(), d);
-        prop_assert!(s.dr <= MAX_DR || s.dr == 1);
-    }
+        assert_eq!(s.disks(), d);
+        assert!(s.dr <= MAX_DR || s.dr == 1);
+    });
+}
 
-    #[test]
-    fn more_writes_never_increase_recommended_replication(
-        c in arb_character(),
-        d in 2u32..48,
-    ) {
-        // Dr* grows with sqrt(2p - 1): lowering p can only shrink it.
-        let high = recommend_latency_shape(&c, d, 0.95);
-        let low = recommend_latency_shape(&c, d, 0.6);
-        prop_assert!(low.dr <= high.dr, "low-p {low} vs high-p {high}");
-    }
+#[test]
+fn more_writes_never_increase_recommended_replication() {
+    check_cases(
+        "more writes never increase recommended replication",
+        256,
+        |_, rng| {
+            let c = arb_character(rng);
+            let d = rng.range(2, 48) as u32;
+            // Dr* grows with sqrt(2p - 1): lowering p can only shrink it.
+            let high = recommend_latency_shape(&c, d, 0.95);
+            let low = recommend_latency_shape(&c, d, 0.6);
+            assert!(low.dr <= high.dr, "low-p {low} vs high-p {high}");
+        },
+    );
+}
 
-    #[test]
-    fn locality_shifts_recommendations_toward_replication(
-        c in arb_character(),
-        d in 2u32..48,
-        l in 1.5f64..20.0,
-    ) {
-        let base = recommend_latency_shape(&c, d, 1.0);
-        let local = recommend_latency_shape(&c.with_locality(l), d, 1.0);
-        prop_assert!(local.dr >= base.dr, "base {base} local {local}");
-    }
+#[test]
+fn locality_shifts_recommendations_toward_replication() {
+    check_cases(
+        "locality shifts recommendations toward replication",
+        256,
+        |_, rng| {
+            let c = arb_character(rng);
+            let d = rng.range(2, 48) as u32;
+            let l = f64_in(rng, 1.5, 20.0);
+            let base = recommend_latency_shape(&c, d, 1.0);
+            let local = recommend_latency_shape(&c.with_locality(l), d, 1.0);
+            assert!(local.dr >= base.dr, "base {base} local {local}");
+        },
+    );
+}
 
-    #[test]
-    fn rw_latency_interpolates_between_read_and_write(
-        c in arb_character(),
-        ds in 1u32..16,
-        dr in 1u32..6,
-        p in 0.0f64..1.0,
-    ) {
-        let read = rw_latency(&c, ds, dr, 1.0);
-        let write = rw_latency(&c, ds, dr, 0.0);
-        let mix = rw_latency(&c, ds, dr, p);
-        let expect = p * read + (1.0 - p) * write;
-        prop_assert!((mix - expect).abs() < 1e-9);
-    }
+#[test]
+fn rw_latency_interpolates_between_read_and_write() {
+    check_cases(
+        "rw latency interpolates between read and write",
+        256,
+        |_, rng| {
+            let c = arb_character(rng);
+            let ds = rng.range(1, 16) as u32;
+            let dr = rng.range(1, 6) as u32;
+            let p = rng.unit();
+            let read = rw_latency(&c, ds, dr, 1.0);
+            let write = rw_latency(&c, ds, dr, 0.0);
+            let mix = rw_latency(&c, ds, dr, p);
+            let expect = p * read + (1.0 - p) * write;
+            assert!((mix - expect).abs() < 1e-9);
+        },
+    );
+}
 
-    #[test]
-    fn optimal_rw_aspect_satisfies_first_order_conditions(
-        c in arb_character(),
-        d in 2u32..64,
-        p in 0.55f64..1.0,
-    ) {
-        let (ds, _) = optimal_rw_aspect(&c, d, p).expect("p > 0.5");
-        // Perturbing Ds either way from the optimum cannot help.
-        let eval = |ds: f64| {
-            let dr = d as f64 / ds;
-            c.s_ms / (3.0 * ds)
-                + p * c.r_ms / (2.0 * dr)
-                + (1.0 - p) * (c.r_ms - c.r_ms / (2.0 * dr))
-        };
-        let t0 = eval(ds);
-        prop_assert!(eval(ds * 1.01) >= t0 - 1e-12);
-        prop_assert!(eval(ds * 0.99) >= t0 - 1e-12);
-    }
+#[test]
+fn optimal_rw_aspect_satisfies_first_order_conditions() {
+    check_cases(
+        "optimal rw aspect satisfies first-order conditions",
+        256,
+        |_, rng| {
+            let c = arb_character(rng);
+            let d = rng.range(2, 64) as u32;
+            let p = f64_in(rng, 0.55, 1.0);
+            let (ds, _) = optimal_rw_aspect(&c, d, p).expect("p > 0.5");
+            // Perturbing Ds either way from the optimum cannot help.
+            let eval = |ds: f64| {
+                let dr = d as f64 / ds;
+                c.s_ms / (3.0 * ds)
+                    + p * c.r_ms / (2.0 * dr)
+                    + (1.0 - p) * (c.r_ms - c.r_ms / (2.0 * dr))
+            };
+            let t0 = eval(ds);
+            assert!(eval(ds * 1.01) >= t0 - 1e-12);
+            assert!(eval(ds * 0.99) >= t0 - 1e-12);
+        },
+    );
 }

@@ -25,6 +25,9 @@ use mimd_sim::{SimDuration, SimRng, SimTime};
 
 use crate::mechanics::mod1;
 
+/// Parts-per-million per unit fraction (dimensionless drift scale).
+const PPM_SCALE: f64 = 1e6;
+
 /// Ground-truth spindle whose rotation period drifts slowly.
 ///
 /// The period is piecewise-constant over fixed epochs; each epoch nudges it
@@ -84,9 +87,9 @@ impl DriftingSpindle {
             self.epoch_start += self.epoch;
             // Random-walk the period within the drift bound.
             let step = (self.rng.unit() * 2.0 - 1.0) * self.step_ppm;
-            let cur_ppm = (self.period_ns / self.nominal_ns - 1.0) * 1e6;
+            let cur_ppm = (self.period_ns / self.nominal_ns - 1.0) * PPM_SCALE;
             let next_ppm = (cur_ppm + step).clamp(-self.max_drift_ppm, self.max_drift_ppm);
-            self.period_ns = self.nominal_ns * (1.0 + next_ppm * 1e-6);
+            self.period_ns = self.nominal_ns * (1.0 + next_ppm / PPM_SCALE);
         }
     }
 
@@ -227,7 +230,7 @@ impl HeadTracker {
         // what lets arbitrary-angle request completions share one fit with
         // the fixed reference sector.
         let y = t_obs.as_nanos() as f64
-            - self.noise.mean_us * 1_000.0
+            - self.noise.mean_us * mimd_sim::time::NANOS_PER_MICRO
             - crate::mechanics::mod1(reference_angle) * self.period_ns;
         self.reference_angle = 0.0;
         let k = match self.window.last() {

@@ -165,11 +165,17 @@ impl Geometry {
         let in_cyl = rel % per_cyl;
         let surface = (in_cyl / z.sectors_per_track as u64) as u32;
         let sector = (in_cyl % z.sectors_per_track as u64) as u32;
-        Some(Chs {
+        let chs = Chs {
             cylinder: z.first_cylinder + cyl_rel as u32,
             surface,
             sector,
-        })
+        };
+        mimd_sim::sim_invariant!(
+            self.chs_to_lbn(chs) == Some(lbn),
+            "lbn<->chs bijectivity broke: lbn {lbn} maps to {chs:?} which maps back to {:?}",
+            self.chs_to_lbn(chs)
+        );
+        Some(chs)
     }
 
     /// Maps a physical address back to its logical block number.

@@ -1,10 +1,10 @@
-//! Property tests for the mechanical disk model.
-
-use proptest::prelude::*;
+//! Property tests for the mechanical disk model, driven by the
+//! deterministic in-repo harness (`mimd_sim::check`).
 
 use mimd_disk::{
     Chs, DiskParams, Geometry, PositionKnowledge, SeekProfile, SimDisk, Spindle, Target, TimingPath,
 };
+use mimd_sim::check::{check_cases, f64_in};
 use mimd_sim::{SimDuration, SimTime};
 
 fn geometry() -> Geometry {
@@ -21,148 +21,199 @@ fn disk(path: TimingPath) -> SimDisk {
     .expect("valid params")
 }
 
-proptest! {
-    #[test]
-    fn lbn_chs_round_trip(lbn in 0u64..17_795_292) {
+#[test]
+fn lbn_chs_round_trip() {
+    check_cases("lbn↔chs round trip", 512, |_, rng| {
+        let lbn = rng.below(17_795_292);
         let g = geometry();
         let chs = g.lbn_to_chs(lbn).expect("in range");
-        prop_assert!(chs.cylinder < g.total_cylinders());
-        prop_assert!(chs.surface < g.surfaces());
-        prop_assert_eq!(g.chs_to_lbn(chs).expect("valid"), lbn);
-    }
+        assert!(chs.cylinder < g.total_cylinders());
+        assert!(chs.surface < g.surfaces());
+        assert_eq!(g.chs_to_lbn(chs).expect("valid"), lbn);
+    });
+}
 
-    #[test]
-    fn consecutive_lbns_never_move_backward(lbn in 0u64..17_795_000) {
+#[test]
+fn consecutive_lbns_never_move_backward() {
+    check_cases("consecutive lbns never move backward", 512, |_, rng| {
+        let lbn = rng.below(17_795_000);
         let g = geometry();
         let a = g.lbn_to_chs(lbn).expect("in range");
         let b = g.lbn_to_chs(lbn + 1).expect("in range");
         // Cylinder-major, surface-minor layout: addresses only advance.
         let ka = (a.cylinder as u64, a.surface as u64, a.sector as u64);
         let kb = (b.cylinder as u64, b.surface as u64, b.sector as u64);
-        prop_assert!(kb > ka);
-    }
+        assert!(kb > ka);
+    });
+}
 
-    #[test]
-    fn angles_are_canonical(lbn in 0u64..17_795_292) {
+#[test]
+fn angles_are_canonical() {
+    check_cases("angles are canonical", 512, |_, rng| {
+        let lbn = rng.below(17_795_292);
         let g = geometry();
         let chs = g.lbn_to_chs(lbn).expect("in range");
         let angle = g.angle_of(chs).expect("valid");
-        prop_assert!((0.0..1.0).contains(&angle));
-    }
+        assert!((0.0..1.0).contains(&angle));
+    });
+}
 
-    #[test]
-    fn sector_at_angle_is_a_right_inverse(
-        cylinder in 0u32..6_962,
-        surface in 0u32..12,
-        angle in 0f64..1.0,
-    ) {
+#[test]
+fn sector_at_angle_is_a_right_inverse() {
+    check_cases("sector_at_angle is a right inverse", 512, |_, rng| {
+        let cylinder = rng.below(6_962) as u32;
+        let surface = rng.below(12) as u32;
+        let angle = rng.unit();
         let g = geometry();
         let sector = g.sector_at_angle(cylinder, surface, angle).expect("valid");
         let spt = g.sectors_per_track(cylinder).expect("valid");
-        prop_assert!(sector < spt);
+        assert!(sector < spt);
         // The found sector's start angle is at or just after the request,
         // within one sector of wrap-around.
         let got = g
-            .angle_of(Chs { cylinder, surface, sector })
+            .angle_of(Chs {
+                cylinder,
+                surface,
+                sector,
+            })
             .expect("valid");
         let forward = (got - angle).rem_euclid(1.0);
-        prop_assert!(forward <= 1.0 / spt as f64 + 1e-9, "forward {forward}");
-    }
+        assert!(forward <= 1.0 / spt as f64 + 1e-9, "forward {forward}");
+    });
+}
 
-    #[test]
-    fn seek_time_is_monotone_and_bounded(a in 1u32..6_961, b in 1u32..6_961) {
+#[test]
+fn seek_time_is_monotone_and_bounded() {
+    check_cases("seek time is monotone and bounded", 256, |_, rng| {
+        let a = rng.range(1, 6_961) as u32;
+        let b = rng.range(1, 6_961) as u32;
         let params = DiskParams::st39133lwv();
         let profile = SeekProfile::fit(&params).expect("fit");
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(profile.seek(lo) <= profile.seek(hi));
-        prop_assert!(profile.seek(hi) <= params.max_seek + SimDuration::from_micros(30));
-        prop_assert!(profile.seek(lo) >= params.min_seek - SimDuration::from_micros(30));
-    }
+        assert!(profile.seek(lo) <= profile.seek(hi));
+        assert!(profile.seek(hi) <= params.max_seek + SimDuration::from_micros(30));
+        assert!(profile.seek(lo) >= params.min_seek - SimDuration::from_micros(30));
+    });
+}
 
-    #[test]
-    fn spindle_wait_always_lands_on_target(start_ns in 0u64..1u64 << 40, target in 0f64..1.0) {
+#[test]
+fn spindle_wait_always_lands_on_target() {
+    check_cases("spindle wait always lands on target", 512, |_, rng| {
+        let start_ns = rng.below(1 << 40);
+        let target = rng.unit();
         let s = Spindle::new(SimDuration::from_millis(6));
         let t = SimTime::from_nanos(start_ns);
         let wait = s.wait_until_angle(t, target);
-        prop_assert!(wait < SimDuration::from_millis(6));
+        assert!(wait < SimDuration::from_millis(6));
         let landed = s.angle_at(t + wait);
         let err = (landed - target).rem_euclid(1.0);
         let err = err.min(1.0 - err);
-        prop_assert!(err < 1e-3, "err {err}");
-    }
+        assert!(err < 1e-3, "err {err}");
+    });
+}
 
-    #[test]
-    fn estimate_equals_begin_under_perfect_knowledge(
-        cylinder in 0u32..6_962,
-        surface in 0u32..12,
-        angle in 0f64..1.0,
-        sectors in 1u32..256,
-        start_us in 0u64..1_000_000,
-        write in any::<bool>(),
-    ) {
-        let mut d = disk(TimingPath::Detailed);
-        let t = Target { cylinder, surface, angle, sectors };
-        let now = SimTime::from_micros(start_us);
-        let est = d.estimate(now, &t, write);
-        let got = d.begin(now, &t, write);
-        prop_assert_eq!(est, got);
-        prop_assert_eq!(d.arm_cylinder(), cylinder);
-        prop_assert_eq!(d.arm_surface(), surface);
-        prop_assert_eq!(d.busy_until(), now + got.total());
-    }
+#[test]
+fn estimate_equals_begin_under_perfect_knowledge() {
+    check_cases(
+        "estimate equals begin under perfect knowledge",
+        256,
+        |_, rng| {
+            let cylinder = rng.below(6_962) as u32;
+            let surface = rng.below(12) as u32;
+            let angle = rng.unit();
+            let sectors = rng.range(1, 256) as u32;
+            let start_us = rng.below(1_000_000);
+            let write = rng.chance(0.5);
+            let mut d = disk(TimingPath::Detailed);
+            let t = Target {
+                cylinder,
+                surface,
+                angle,
+                sectors,
+            };
+            let now = SimTime::from_micros(start_us);
+            let est = d.estimate(now, &t, write);
+            let got = d.begin(now, &t, write);
+            assert_eq!(est, got);
+            assert_eq!(d.arm_cylinder(), cylinder);
+            assert_eq!(d.arm_surface(), surface);
+            assert_eq!(d.busy_until(), now + got.total());
+        },
+    );
+}
 
-    #[test]
-    fn service_components_are_sane(
-        cylinder in 0u32..6_962,
-        surface in 0u32..12,
-        angle in 0f64..1.0,
-        sectors in 1u32..256,
-    ) {
+#[test]
+fn service_components_are_sane() {
+    check_cases("service components are sane", 256, |_, rng| {
+        let cylinder = rng.below(6_962) as u32;
+        let surface = rng.below(12) as u32;
+        let angle = rng.unit();
+        let sectors = rng.range(1, 256) as u32;
         let d = disk(TimingPath::Detailed);
-        let b = d.estimate(SimTime::ZERO, &Target { cylinder, surface, angle, sectors }, false);
-        prop_assert!(b.rotation <= d.rotation_time());
-        prop_assert!(b.transfer > SimDuration::ZERO);
+        let b = d.estimate(
+            SimTime::ZERO,
+            &Target {
+                cylinder,
+                surface,
+                angle,
+                sectors,
+            },
+            false,
+        );
+        assert!(b.rotation <= d.rotation_time());
+        assert!(b.transfer > SimDuration::ZERO);
         // A transfer of n sectors takes at least n sector times at the
         // densest zone.
-        let min_transfer = SimDuration::from_nanos(
-            (sectors as u64) * d.rotation_time().as_nanos() / 248,
-        );
-        prop_assert!(b.transfer >= min_transfer);
-        prop_assert!(b.total() >= b.positioning());
-    }
+        let min_transfer =
+            SimDuration::from_nanos((sectors as u64) * d.rotation_time().as_nanos() / 248);
+        assert!(b.transfer >= min_transfer);
+        assert!(b.total() >= b.positioning());
+    });
+}
 
-    #[test]
-    fn writes_never_cost_less_than_reads(
-        cylinder in 1u32..6_962,
-        angle in 0f64..1.0,
-    ) {
+#[test]
+fn writes_never_cost_less_than_reads() {
+    check_cases("writes never cost less than reads", 256, |_, rng| {
+        let cylinder = rng.range(1, 6_962) as u32;
+        let angle = rng.unit();
         let d = disk(TimingPath::Analytic);
-        let t = Target { cylinder, surface: 3, angle, sectors: 8 };
+        let t = Target {
+            cylinder,
+            surface: 3,
+            angle,
+            sectors: 8,
+        };
         let r = d.estimate(SimTime::ZERO, &t, false);
         let w = d.estimate(SimTime::ZERO, &t, true);
-        prop_assert!(w.seek >= r.seek);
-    }
+        assert!(w.seek >= r.seek);
+    });
+}
 
-    #[test]
-    fn phase_offsets_shift_rotation_only(
-        cylinder in 0u32..6_962,
-        angle in 0f64..1.0,
-        offset in 0f64..1.0,
-    ) {
+#[test]
+fn phase_offsets_shift_rotation_only() {
+    check_cases("phase offsets shift rotation only", 256, |_, rng| {
+        let cylinder = rng.below(6_962) as u32;
+        let angle = rng.unit();
+        let offset = f64_in(rng, 0.0, 1.0);
         let mut a = disk(TimingPath::Analytic);
         let mut b = disk(TimingPath::Analytic);
         b.set_phase_offset(offset);
-        let t = Target { cylinder, surface: 0, angle, sectors: 8 };
+        let t = Target {
+            cylinder,
+            surface: 0,
+            angle,
+            sectors: 8,
+        };
         let ea = a.begin(SimTime::ZERO, &t, false);
         let eb = b.begin(SimTime::ZERO, &t, false);
-        prop_assert_eq!(ea.seek, eb.seek);
-        prop_assert_eq!(ea.transfer, eb.transfer);
+        assert_eq!(ea.seek, eb.seek);
+        assert_eq!(ea.transfer, eb.transfer);
         // Rotation differs by exactly the offset (mod a revolution).
         let diff_ns = ea.rotation.as_nanos() as i64 - eb.rotation.as_nanos() as i64;
         let period = a.rotation_time().as_nanos() as i64;
         let expected = (offset * period as f64) as i64;
         let delta = (diff_ns - expected).rem_euclid(period);
         let delta = delta.min(period - delta);
-        prop_assert!(delta < 2_000, "delta {delta} ns");
-    }
+        assert!(delta < 2_000, "delta {delta} ns");
+    });
 }

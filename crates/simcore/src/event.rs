@@ -29,6 +29,8 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    /// Time of the most recent pop; pushes and pops must not precede it.
+    frontier: SimTime,
 }
 
 #[derive(Debug)]
@@ -69,6 +71,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            frontier: SimTime::ZERO,
         }
     }
 
@@ -77,11 +80,20 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
+            frontier: SimTime::ZERO,
         }
     }
 
     /// Schedules `event` to fire at instant `at`.
+    ///
+    /// Scheduling before the last popped instant would make simulated time
+    /// run backwards; debug builds reject it.
     pub fn push(&mut self, at: SimTime, event: E) {
+        crate::sim_invariant!(
+            at >= self.frontier,
+            "event scheduled in the past: {at} precedes frontier {}",
+            self.frontier
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -89,7 +101,16 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        self.heap.pop().map(|e| {
+            crate::sim_invariant!(
+                e.at >= self.frontier,
+                "event queue popped {} after frontier {}",
+                e.at,
+                self.frontier
+            );
+            self.frontier = e.at;
+            (e.at, e.event)
+        })
     }
 
     /// The firing time of the earliest pending event, if any.
@@ -107,9 +128,11 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events and resets the monotonicity frontier
+    /// (the queue may then be reused for a fresh run from t = 0).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.frontier = SimTime::ZERO;
     }
 }
 

@@ -7,10 +7,17 @@
 //!   [`SimDuration`]) with total ordering and saturating arithmetic.
 //! - [`event`]: a deterministic event queue ([`EventQueue`]) with FIFO
 //!   tie-breaking for simultaneous events, so runs are exactly reproducible.
-//! - [`rng`]: a seedable random-number facade ([`SimRng`]) plus the handful
-//!   of distributions the workload generators need (exponential, Zipf,
-//!   truncated normal), implemented locally so the dependency surface stays
-//!   at `rand` alone.
+//! - [`rng`]: a seedable random-number source ([`SimRng`], xoshiro256++)
+//!   plus the handful of distributions the workload generators need
+//!   (exponential, Zipf, truncated normal), implemented locally so the
+//!   kernel has **no external dependencies** and its streams never shift
+//!   under a dependency upgrade.
+//! - [`check`]: a deterministic property-testing harness
+//!   ([`check::check_cases`]) the workspace's property suites run on.
+//! - [`invariant`]: debug-build runtime invariants ([`sim_invariant!`])
+//!   guarding dynamic properties — event-time monotonicity, geometry
+//!   bijectivity, replica spacing — that the static `simlint` pass cannot
+//!   see.
 //! - [`stats`]: streaming statistics ([`OnlineStats`]), exact percentile
 //!   summaries ([`SampleSet`]), latency histograms ([`Histogram`]), and the
 //!   Ruemmler–Wilkes *demerit figure* used by the paper's Table 2.
@@ -27,7 +34,9 @@
 //! assert_eq!((t, e), (SimTime::from_micros(10), "first"));
 //! ```
 
+pub mod check;
 pub mod event;
+pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -2,19 +2,31 @@
 //!
 //! Everything is seeded explicitly: an experiment binary that is run twice
 //! with the same seed produces identical traces, identical schedules, and
-//! identical output tables. The distributions (exponential inter-arrivals,
-//! Zipf block popularity, truncated Gaussian timing jitter) are implemented
-//! here rather than pulled from `rand_distr` to keep the dependency list at
-//! the crates the project brief allows.
+//! identical output tables. The generator itself (xoshiro256++ seeded via
+//! SplitMix64) and the distributions (exponential inter-arrivals, Zipf
+//! block popularity, truncated Gaussian timing jitter) are implemented
+//! here rather than pulled from `rand`/`rand_distr`, so the simulation
+//! kernel has **zero external dependencies** and its streams are stable
+//! across toolchain and dependency upgrades — a prerequisite for the
+//! bit-for-bit reproducibility the Figure 5 validation relies on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Used only to expand a 64-bit seed into the generator's 256-bit state,
+/// as recommended by the xoshiro authors.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seedable deterministic random source.
 ///
-/// Thin wrapper over [`StdRng`] exposing exactly the sampling operations the
-/// simulator uses, so that call sites read as workload vocabulary rather
-/// than raw `gen_range` calls.
+/// Implemented as xoshiro256++ (Blackman & Vigna, public domain), exposing
+/// exactly the sampling operations the simulator uses, so that call sites
+/// read as workload vocabulary rather than raw `gen_range` calls.
 ///
 /// # Examples
 ///
@@ -27,15 +39,40 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// The next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `(0, 1)` — open at both ends, for logarithms.
+    fn unit_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Forks an independent child stream, e.g. one per simulated disk.
@@ -44,7 +81,7 @@ impl SimRng {
     /// yield statistically independent children while remaining fully
     /// deterministic.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen::<u64>())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -54,7 +91,10 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "SimRng::below called with zero bound");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift: maps the 64-bit output onto [0, bound)
+        // with bias below 2^-64 per draw — negligible for simulation use
+        // and, crucially, branch-free and deterministic.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -64,17 +104,17 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "SimRng::range requires lo < hi");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Exponential variate with the given mean (> 0).
@@ -83,14 +123,13 @@ impl SimRng {
     /// generators.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        -mean * self.unit_open().ln()
     }
 
     /// Standard-normal variate via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1 = self.unit_open();
+        let u2 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -113,14 +152,13 @@ impl SimRng {
     /// generator.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
         debug_assert!(x_min > 0.0 && alpha > 0.0);
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        x_min / u.powf(1.0 / alpha)
+        x_min / self.unit_open().powf(1.0 / alpha)
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -183,9 +221,10 @@ impl Zipf {
     /// Draws a rank in `[0, n)`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.unit();
+        // The CDF entries are finite by construction, so total order holds.
         match self
             .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
         {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
@@ -221,6 +260,27 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         for _ in 0..1000 {
             assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges_uniformly() {
+        let mut rng = SimRng::seed_from(41);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SimRng::seed_from(43);
+        for _ in 0..100_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "u {u}");
         }
     }
 

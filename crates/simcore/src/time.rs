@@ -8,6 +8,21 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Nanoseconds per microsecond, for `f64` boundary conversions.
+///
+/// Raw unit-conversion literals are banned outside this module (the
+/// `time-units` simlint rule); model code converting floating-point
+/// quantities at the reporting boundary must name the ratio it means.
+pub const NANOS_PER_MICRO: f64 = 1e3;
+/// Nanoseconds per millisecond, for `f64` boundary conversions.
+pub const NANOS_PER_MILLI: f64 = 1e6;
+/// Nanoseconds per second, for `f64` boundary conversions.
+pub const NANOS_PER_SEC: f64 = 1e9;
+/// Microseconds per millisecond, for `f64` boundary conversions.
+pub const MICROS_PER_MILLI: f64 = 1e3;
+/// Milliseconds per second, for `f64` boundary conversions.
+pub const MILLIS_PER_SEC: f64 = 1e3;
+
 /// An instant on the simulated clock, in nanoseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);

@@ -1,12 +1,14 @@
-//! Property tests for the simulation kernel.
+//! Property tests for the simulation kernel, driven by the deterministic
+//! in-repo harness (`mimd_sim::check`).
 
-use proptest::prelude::*;
-
+use mimd_sim::check::{check_cases, f64_in};
 use mimd_sim::{demerit, EventQueue, Histogram, OnlineStats, SampleSet, SimDuration, SimTime};
 
-proptest! {
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    check_cases("event queue pops sorted and stable", 256, |_, rng| {
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_micros(t), i);
@@ -15,18 +17,52 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t, i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         // Sorted by time, FIFO within equal timestamps.
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1);
+                assert!(w[0].1 < w[1].1);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn online_stats_match_naive(data in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+#[test]
+fn event_queue_pop_times_are_monotone_under_interleaving() {
+    // The runtime invariant layer checks the same property inside
+    // `EventQueue::pop`; this test drives it from outside with interleaved
+    // pushes at or after the current pop frontier, the way the engine
+    // schedules work.
+    check_cases("event queue pop-order monotonicity", 256, |_, rng| {
+        let mut q = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for _ in 0..rng.range(1, 64) {
+            q.push(SimTime::from_micros(rng.below(10_000)), 0u32);
+        }
+        let mut steps = 0u32;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last, "pop went backwards: {t} after {last}");
+            last = t;
+            steps += 1;
+            if steps > 10_000 {
+                break;
+            }
+            // Schedule follow-on events no earlier than "now", like the
+            // engine's completion → dispatch chains.
+            if rng.chance(0.5) {
+                let delay = rng.below(5_000);
+                q.push(last + SimDuration::from_micros(delay), 1u32);
+            }
+        }
+    });
+}
+
+#[test]
+fn online_stats_match_naive() {
+    check_cases("online stats match naive", 256, |_, rng| {
+        let n = rng.range(1, 300) as usize;
+        let data: Vec<f64> = (0..n).map(|_| f64_in(rng, -1e6, 1e6)).collect();
         let mut s = OnlineStats::new();
         for &x in &data {
             s.push(x);
@@ -34,20 +70,25 @@ proptest! {
         let n = data.len() as f64;
         let mean = data.iter().sum::<f64>() / n;
         let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.population_variance() - var).abs() < 1e-4 * (1.0 + var));
-        prop_assert_eq!(s.count(), data.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((s.population_variance() - var).abs() < 1e-4 * (1.0 + var));
+        assert_eq!(s.count(), data.len() as u64);
         let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
-    }
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+    });
+}
 
-    #[test]
-    fn merge_equals_sequential(
-        a in prop::collection::vec(-1e3f64..1e3, 1..100),
-        b in prop::collection::vec(-1e3f64..1e3, 1..100),
-    ) {
+#[test]
+fn merge_equals_sequential() {
+    check_cases("merge equals sequential", 256, |_, rng| {
+        let a: Vec<f64> = (0..rng.range(1, 100))
+            .map(|_| f64_in(rng, -1e3, 1e3))
+            .collect();
+        let b: Vec<f64> = (0..rng.range(1, 100))
+            .map(|_| f64_in(rng, -1e3, 1e3))
+            .collect();
         let mut whole = OnlineStats::new();
         let mut left = OnlineStats::new();
         let mut right = OnlineStats::new();
@@ -60,31 +101,38 @@ proptest! {
             right.push(x);
         }
         left.merge(&right);
-        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
-    }
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn percentiles_agree_with_sorted_rank(data in prop::collection::vec(0f64..1e4, 1..200), p in 0.0f64..1.0) {
+#[test]
+fn percentiles_agree_with_sorted_rank() {
+    check_cases("percentiles agree with sorted rank", 256, |_, rng| {
+        let n = rng.range(1, 200) as usize;
+        let data: Vec<f64> = (0..n).map(|_| f64_in(rng, 0.0, 1e4)).collect();
+        let p = rng.unit();
         let mut s = SampleSet::new();
         for &x in &data {
             s.push(x);
         }
-        let got = s.percentile(p).unwrap();
+        let got = s.percentile(p).expect("non-empty");
         let mut sorted = data.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let rank = ((p * sorted.len() as f64).ceil() as usize).max(1) - 1;
-        prop_assert_eq!(got, sorted[rank.min(sorted.len() - 1)]);
+        assert_eq!(got, sorted[rank.min(sorted.len() - 1)]);
         // Monotone in p.
-        let lo = s.percentile(p * 0.5).unwrap();
-        prop_assert!(lo <= got);
-    }
+        let lo = s.percentile(p * 0.5).expect("non-empty");
+        assert!(lo <= got);
+    });
+}
 
-    #[test]
-    fn demerit_is_symmetric_and_detects_shift(
-        data in prop::collection::vec(0f64..1e4, 10..200),
-        shift in 0f64..100.0,
-    ) {
+#[test]
+fn demerit_is_symmetric_and_detects_shift() {
+    check_cases("demerit is symmetric and detects shift", 256, |_, rng| {
+        let n = rng.range(10, 200) as usize;
+        let data: Vec<f64> = (0..n).map(|_| f64_in(rng, 0.0, 1e4)).collect();
+        let shift = f64_in(rng, 0.0, 100.0);
         let mut a = SampleSet::new();
         let mut b = SampleSet::new();
         for &x in &data {
@@ -95,38 +143,53 @@ proptest! {
         let mut b2 = b.clone();
         let d1 = demerit(&mut a, &mut b);
         let d2 = demerit(&mut b2, &mut a2);
-        prop_assert!((d1 - d2).abs() < 1e-9);
-        prop_assert!((d1 - shift).abs() < 1e-6 + shift * 1e-9, "d1 {d1} shift {shift}");
-    }
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(
+            (d1 - shift).abs() < 1e-6 + shift * 1e-9,
+            "d1 {d1} shift {shift}"
+        );
+    });
+}
 
-    #[test]
-    fn histogram_conserves_counts(data in prop::collection::vec(-50f64..150.0, 0..300)) {
-        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+#[test]
+fn histogram_conserves_counts() {
+    check_cases("histogram conserves counts", 256, |_, rng| {
+        let n = rng.below(300) as usize;
+        let data: Vec<f64> = (0..n).map(|_| f64_in(rng, -50.0, 150.0)).collect();
+        let mut h = Histogram::new(0.0, 100.0, 10).expect("valid bins");
         for &x in &data {
             h.record(x);
         }
-        prop_assert_eq!(h.total(), data.len() as u64);
+        assert_eq!(h.total(), data.len() as u64);
         let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
-    }
+        assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+    });
+}
 
-    #[test]
-    fn time_arithmetic_is_consistent(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+#[test]
+fn time_arithmetic_is_consistent() {
+    check_cases("time arithmetic is consistent", 512, |_, rng| {
+        let a = rng.below(1 << 40);
+        let b = rng.below(1 << 40);
         let t = SimTime::from_nanos(a);
         let d = SimDuration::from_nanos(b);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
-        prop_assert_eq!((t + d).saturating_since(t), d);
-    }
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+        assert_eq!((t + d).saturating_since(t), d);
+    });
+}
 
-    #[test]
-    fn duration_scaling_round_trips(ms in 1u64..1_000_000, rate in 1.0f64..128.0) {
+#[test]
+fn duration_scaling_round_trips() {
+    check_cases("duration scaling round trips", 512, |_, rng| {
+        let ms = rng.range(1, 1_000_000);
+        let rate = f64_in(rng, 1.0, 128.0);
         let d = SimDuration::from_millis(ms);
         let scaled = d.mul_f64(1.0 / rate);
         let back = scaled.mul_f64(rate);
         // Round trip within rounding error of the two conversions.
         let err = back.as_nanos().abs_diff(d.as_nanos());
-        prop_assert!(err <= rate.ceil() as u64 + 1, "err {err}");
-    }
+        assert!(err <= rate.ceil() as u64 + 1, "err {err}");
+    });
 }

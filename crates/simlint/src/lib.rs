@@ -1,0 +1,797 @@
+//! Project-specific static analysis for the MimdRAID workspace.
+//!
+//! The paper's headline validation (Figure 5: two independently built
+//! timing paths agreeing to within a few percent) only means something if
+//! the simulator is bit-for-bit deterministic and unit-correct. `simlint`
+//! enforces the coding rules that protect that property, as a plain
+//! source scan with **no dependencies** so it runs offline and in CI:
+//!
+//! - [`Rule::Determinism`] — no wall-clock or ambient randomness
+//!   (`std::time::Instant`, `SystemTime`, `thread_rng`, …) in simulation
+//!   crates. All randomness flows through the seeded `mimd_sim::SimRng`.
+//! - [`Rule::Collections`] — no `HashMap`/`HashSet` in `simcore`, `core`,
+//!   or `diskmodel`: their iteration order is seeded per-process by
+//!   `RandomState`, which silently breaks run-to-run reproducibility.
+//!   Use `BTreeMap`/`BTreeSet` (or index-keyed `Vec`s) instead.
+//! - [`Rule::TimeUnits`] — no raw `f64` second/milli/micro/nano
+//!   conversions outside `simcore::time`. A line that multiplies or
+//!   divides a time-suffixed quantity (`…_ns`, `…_ms`, `…millis…`, …) by
+//!   a unit-conversion literal (`1e6`, `1_000.0`, …) is flagged; route
+//!   the math through `SimTime`/`SimDuration` or the named constants in
+//!   `mimd_sim::time` instead.
+//! - [`Rule::Panic`] — no `unwrap()`/`expect()`/`panic!`-family macros in
+//!   `crates/core/src/engine` and `crates/diskmodel/src` non-test code.
+//!   Hot-path failures must surface as `Result`/`Option`, not aborts.
+//!
+//! Test modules (`#[cfg(test)]`), doc comments, strings, and the
+//! `tests/`, `benches/`, and `examples/` trees are exempt. A violation
+//! can be explicitly waived with a justification comment on the same line
+//! or the line above:
+//!
+//! ```text
+//! let ppm = frac * 1e6; // simlint: allow(time-units) — ppm, not a time unit
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+/// The lint rules, named as they appear in `// simlint: allow(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock time or ambient randomness in simulation code.
+    Determinism,
+    /// Randomised-iteration-order collections in deterministic crates.
+    Collections,
+    /// Raw floating-point time-unit arithmetic outside `simcore::time`.
+    TimeUnits,
+    /// Panicking calls in the engine / disk-model hot paths.
+    Panic,
+}
+
+impl Rule {
+    /// The rule's name in diagnostics and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Collections => "collections",
+            Rule::TimeUnits => "time-units",
+            Rule::Panic => "panic",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "determinism" => Some(Rule::Determinism),
+            "collections" => Some(Rule::Collections),
+            "time-units" => Some(Rule::TimeUnits),
+            "panic" => Some(Rule::Panic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable description of what was matched.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule set applies to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    determinism: bool,
+    collections: bool,
+    time_units: bool,
+    panic: bool,
+}
+
+impl Scope {
+    /// No rules — the file is not linted.
+    pub const EXEMPT: Scope = Scope {
+        determinism: false,
+        collections: false,
+        time_units: false,
+        panic: false,
+    };
+
+    /// Derives the applicable rules from a workspace-relative path
+    /// (forward slashes).
+    ///
+    /// Integration tests, benches, and examples are exempt wholesale:
+    /// they may time wall-clock runs or use panicking asserts freely.
+    pub fn for_path(rel: &str) -> Scope {
+        let rel = rel.replace('\\', "/");
+        if rel.contains("/tests/") || rel.contains("/benches/") || rel.starts_with("examples/") {
+            return Scope::EXEMPT;
+        }
+        let in_src_of = |krate: &str| rel.starts_with(&format!("crates/{krate}/src/"));
+        let sim_crate = in_src_of("simcore")
+            || in_src_of("core")
+            || in_src_of("diskmodel")
+            || in_src_of("workloads")
+            || rel.starts_with("src/");
+        Scope {
+            determinism: sim_crate,
+            collections: in_src_of("simcore") || in_src_of("core") || in_src_of("diskmodel"),
+            time_units: sim_crate && rel != "crates/simcore/src/time.rs",
+            panic: rel.starts_with("crates/core/src/engine/") || in_src_of("diskmodel"),
+        }
+    }
+
+    /// Whether no rule applies.
+    pub fn is_exempt(&self) -> bool {
+        !(self.determinism || self.collections || self.time_units || self.panic)
+    }
+}
+
+/// A source line with comments/strings blanked and directives extracted.
+struct CodeLine {
+    /// Line content with string/char literals and comments replaced by
+    /// spaces, so pattern checks never fire inside text.
+    code: String,
+    /// Rules waived on this line via `// simlint: allow(...)` (here or on
+    /// the directive-only line above).
+    allows: Vec<Rule>,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Strips comments, strings, and char literals from `source`, keeping
+/// line structure, and records `simlint: allow` directives and
+/// `#[cfg(test)]` regions.
+fn scan(source: &str) -> Vec<CodeLine> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+
+    let mut lines: Vec<CodeLine> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new(); // comment text on the current line
+    let mut mode = Mode::Code;
+    let mut chars = source.chars().peekable();
+
+    // #[cfg(test)] tracking: after seeing the attribute, the next `{`
+    // opens a region skipped until its matching close brace.
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_until_depth: Option<i64> = None;
+
+    let finish_line =
+        |code: &mut String, comment: &mut String, in_test: bool, lines: &mut Vec<CodeLine>| {
+            let allows = parse_allows(comment);
+            // A directive on an otherwise empty line covers the next line.
+            let directive_only = !allows.is_empty() && code.trim().is_empty();
+            lines.push(CodeLine {
+                code: std::mem::take(code),
+                allows,
+                in_test,
+            });
+            comment.clear();
+            directive_only
+        };
+
+    let mut carry_allow_from: Option<usize> = None;
+
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            let in_test = test_until_depth.is_some();
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            let directive_only = finish_line(&mut code, &mut comment, in_test, &mut lines);
+            if directive_only {
+                carry_allow_from = Some(lines.len() - 1);
+            } else if let Some(src) = carry_allow_from.take() {
+                let carried = lines[src].allows.clone();
+                let idx = lines.len() - 1;
+                lines[idx].allows.extend(carried);
+            }
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    mode = Mode::LineComment;
+                    code.push_str("  ");
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(1);
+                    code.push_str("  ");
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    code.push(' ');
+                }
+                'r' if chars.peek() == Some(&'"') || chars.peek() == Some(&'#') => {
+                    // Possible raw string r"..." or r#"..."#; look ahead.
+                    let mut hashes = 0u32;
+                    let mut look = chars.clone();
+                    while look.peek() == Some(&'#') {
+                        look.next();
+                        hashes += 1;
+                    }
+                    if look.peek() == Some(&'"') {
+                        for _ in 0..=hashes {
+                            chars.next();
+                        }
+                        mode = Mode::RawStr(hashes);
+                        code.push(' ');
+                    } else {
+                        code.push(c);
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A char literal closes with
+                    // a quote one or two chars ahead (escapes aside).
+                    let mut look = chars.clone();
+                    match look.next() {
+                        Some('\\') => {
+                            // Escaped char literal: skip the escape head,
+                            // then consume through the closing quote.
+                            code.push(' ');
+                            chars.next(); // the backslash
+                            chars.next(); // the escaped character
+                            for e in chars.by_ref() {
+                                if e == '\'' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some(_) if look.next() == Some('\'') => {
+                            code.push(' ');
+                            chars.next();
+                            chars.next();
+                        }
+                        _ => code.push(c), // lifetime: keep as code
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr {
+                        pending_test_attr = false;
+                        test_until_depth = Some(depth - 1);
+                    }
+                    code.push(c);
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_until_depth == Some(depth) {
+                        test_until_depth = None;
+                    }
+                    code.push(c);
+                }
+                _ => code.push(c),
+            },
+            Mode::LineComment => comment.push(c),
+            Mode::BlockComment(n) => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    if n == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(n - 1);
+                    }
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    mode = Mode::BlockComment(n + 1);
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    chars.next();
+                } else if c == '"' {
+                    mode = Mode::Code;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut look = chars.clone();
+                    let mut seen = 0u32;
+                    while seen < hashes && look.peek() == Some(&'#') {
+                        look.next();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        mode = Mode::Code;
+                    }
+                }
+            }
+        }
+        // Detect `#[cfg(test)]` on the fly once the line's code contains it.
+        if !pending_test_attr && test_until_depth.is_none() && code.ends_with("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        let in_test = test_until_depth.is_some();
+        finish_line(&mut code, &mut comment, in_test, &mut lines);
+    }
+    lines
+}
+
+/// Parses `simlint: allow(rule, rule2)` out of a comment's text.
+fn parse_allows(comment: &str) -> Vec<Rule> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("simlint: allow(") {
+        let after = &rest[pos + "simlint: allow(".len()..];
+        if let Some(close) = after.find(')') {
+            for name in after[..close].split(',') {
+                if let Some(rule) = Rule::from_name(name.trim()) {
+                    allows.push(rule);
+                }
+            }
+            rest = &after[close..];
+        } else {
+            break;
+        }
+    }
+    allows
+}
+
+/// Whether `code` contains `needle` starting at a token boundary.
+///
+/// Boundary checks only apply on sides where the needle itself is
+/// identifier-like: `.unwrap()` matches after `x`, but `SystemTime`
+/// does not match inside `MySystemTimer`.
+fn has_token(code: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let needle_starts_ident = needle.chars().next().is_some_and(ident);
+    let needle_ends_ident = needle.chars().next_back().is_some_and(ident);
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let before = code[..at].chars().next_back().unwrap_or(' ');
+        let after = code[at + needle.len()..].chars().next().unwrap_or(' ');
+        if (!needle_starts_ident || !ident(before)) && (!needle_ends_ident || !ident(after)) {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Splits a code line into identifier tokens.
+fn idents(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty() && !t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+}
+
+/// Whether an identifier names a floating-point time quantity.
+fn is_time_ident(t: &str) -> bool {
+    t.ends_with("_ns")
+        || t.ends_with("_us")
+        || t.ends_with("_ms")
+        || t.ends_with("_secs")
+        || t.contains("nanos")
+        || t.contains("micros")
+        || t.contains("millis")
+        || t.contains("seconds")
+}
+
+/// Unit-conversion literals that signal raw time math.
+const CONVERSION_LITERALS: [&str; 12] = [
+    "1e3",
+    "1e-3",
+    "1e6",
+    "1e-6",
+    "1e9",
+    "1e-9",
+    "1_000.0",
+    "1_000_000.0",
+    "1_000_000_000.0",
+    "1000.0",
+    "1000000.0",
+    "0.001",
+];
+
+/// Numeric-literal token-boundary check (identifier rules, plus `.`/digit
+/// adjacency so `11e9` or `1e-31` never match `1e9`/`1e-3`).
+fn has_literal(code: &str, lit: &str) -> bool {
+    let numy = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(lit) {
+        let at = from + pos;
+        let before_ok = at == 0 || !numy(code[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = !numy(code[at + lit.len()..].chars().next().unwrap_or(' '));
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + lit.len();
+    }
+    false
+}
+
+/// Forbidden sources of nondeterminism, with diagnostics.
+const NONDETERMINISM: [(&str, &str); 6] = [
+    (
+        "thread_rng",
+        "ambient RNG; use a seeded `mimd_sim::SimRng` stream instead",
+    ),
+    (
+        "Instant::now",
+        "wall-clock read in simulation code; use `SimTime` from the event loop",
+    ),
+    (
+        "std::time::Instant",
+        "wall-clock type in simulation code; use `SimTime`",
+    ),
+    (
+        "SystemTime",
+        "wall-clock type in simulation code; use `SimTime`",
+    ),
+    (
+        "rand::random",
+        "ambient RNG; use a seeded `mimd_sim::SimRng` stream instead",
+    ),
+    (
+        "RandomState",
+        "per-process-seeded hasher; iteration order will differ across runs",
+    ),
+];
+
+/// Panicking constructs banned from hot paths.
+const PANICKY: [(&str, &str); 6] = [
+    (
+        ".unwrap()",
+        "convert to `Result`/`Option` handling (or `// simlint: allow(panic)` with a why)",
+    ),
+    (
+        ".expect(",
+        "convert to `Result`/`Option` handling (or `// simlint: allow(panic)` with a why)",
+    ),
+    (
+        "panic!",
+        "return an error instead of aborting the simulation",
+    ),
+    (
+        "unreachable!",
+        "return an error instead of aborting the simulation",
+    ),
+    ("todo!", "unfinished code must not ship in the engine"),
+    (
+        "unimplemented!",
+        "unfinished code must not ship in the engine",
+    ),
+];
+
+/// Lints one file's source text under the given scope.
+///
+/// `rel_path` is used only for diagnostics. This is the pure core the
+/// fixture tests drive; [`lint_workspace`] wires it to the filesystem.
+pub fn lint_source(rel_path: &str, scope: Scope, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if scope.is_exempt() {
+        return out;
+    }
+    for (idx, line) in scan(source).iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        let allowed = |rule: Rule| line.allows.contains(&rule);
+        let mut push = |rule: Rule, message: String| {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule,
+                message,
+            });
+        };
+
+        if scope.determinism && !allowed(Rule::Determinism) {
+            for (needle, why) in NONDETERMINISM {
+                if has_token(code, needle) {
+                    push(Rule::Determinism, format!("`{needle}`: {why}"));
+                }
+            }
+        }
+        if scope.collections && !allowed(Rule::Collections) {
+            for ty in ["HashMap", "HashSet"] {
+                if has_token(code, ty) {
+                    push(
+                        Rule::Collections,
+                        format!(
+                            "`{ty}` has per-process iteration order; use `BTree{}` for \
+                             reproducible runs",
+                            &ty[4..]
+                        ),
+                    );
+                }
+            }
+        }
+        if scope.time_units && !allowed(Rule::TimeUnits) {
+            let has_time_ident = idents(code).any(is_time_ident);
+            if has_time_ident {
+                for lit in CONVERSION_LITERALS {
+                    if has_literal(code, lit) {
+                        push(
+                            Rule::TimeUnits,
+                            format!(
+                                "raw time-unit conversion `{lit}` next to a time quantity; \
+                                 route through `SimTime`/`SimDuration` or `mimd_sim::time` \
+                                 constants"
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        if scope.panic && !allowed(Rule::Panic) {
+            for (needle, why) in PANICKY {
+                if has_token(code, needle) {
+                    push(Rule::Panic, format!("`{needle}` in a no-panic zone; {why}"));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Recursively lints every `.rs` file under `root` (a workspace checkout)
+/// that the scope map covers. Returns violations sorted by file and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let scope = Scope::for_path(&rel);
+        if scope.is_exempt() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, scope, &source));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // `target/` never appears under crates/*/src, but guard anyway.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENGINE: &str = "crates/core/src/engine/mod.rs";
+    const SIM: &str = "crates/simcore/src/event.rs";
+
+    fn rules(v: &[Violation]) -> Vec<(usize, Rule)> {
+        v.iter().map(|x| (x.line, x.rule)).collect()
+    }
+
+    #[test]
+    fn scope_map_matches_workspace_layout() {
+        assert!(Scope::for_path("crates/core/src/engine/cache.rs").panic);
+        assert!(!Scope::for_path("crates/core/src/sched.rs").panic);
+        assert!(Scope::for_path("crates/diskmodel/src/disk.rs").panic);
+        assert!(Scope::for_path("crates/workloads/src/synth.rs").determinism);
+        assert!(!Scope::for_path("crates/workloads/src/synth.rs").collections);
+        assert!(!Scope::for_path("crates/simcore/src/time.rs").time_units);
+        assert!(Scope::for_path("crates/simcore/src/rng.rs").time_units);
+        assert!(Scope::for_path("crates/core/tests/model_properties.rs").is_exempt());
+        assert!(Scope::for_path("crates/bench/src/bin/fig05_validation.rs").is_exempt());
+        assert!(Scope::for_path("examples/quickstart.rs").is_exempt());
+        assert!(Scope::for_path("crates/simlint/src/lib.rs").is_exempt());
+    }
+
+    #[test]
+    fn flags_panicky_calls_with_line_numbers() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let y = x.unwrap();\n    y\n}\n\
+                   fn g() {\n    panic!(\"boom\");\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert_eq!(rules(&v), vec![(2, Rule::Panic), (6, Rule::Panic)]);
+    }
+
+    #[test]
+    fn expect_and_macros_are_flagged() {
+        let src = "fn f() {\n    let a = s.expect(\"x\");\n    unreachable!();\n    todo!()\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert_eq!(
+            rules(&v),
+            vec![(2, Rule::Panic), (3, Rule::Panic), (4, Rule::Panic)]
+        );
+    }
+
+    #[test]
+    fn allow_directive_waives_same_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // simlint: allow(panic) — checked above\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_directive_waives_next_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // simlint: allow(panic) — checked above\n    x.unwrap()\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allow_directive_is_rule_specific() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // simlint: allow(time-units)\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert_eq!(rules(&v), vec![(2, Rule::Panic)]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() {\n    let s = \"call .unwrap() and panic!\";\n    // panic! here is fine\n    /* HashMap in a block comment */\n    let _ = s;\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn f() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert_eq!(rules(&v), vec![(6, Rule::Panic)]);
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_sim_crates_only() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert_eq!(
+            rules(&v),
+            vec![(1, Rule::Collections), (2, Rule::Collections)]
+        );
+        let w = lint_source(
+            "crates/workloads/src/stats.rs",
+            Scope::for_path("crates/workloads/src/stats.rs"),
+            src,
+        );
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn wall_clock_and_ambient_rng_flagged() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    let r = rand::thread_rng();\n    let _ = (t, r);\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.iter().any(|x| x.line == 2 && x.rule == Rule::Determinism));
+        assert!(v.iter().any(|x| x.line == 3 && x.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn time_unit_conversions_flagged_near_time_idents() {
+        let src = "fn f(service_ms: f64) -> f64 {\n    service_ms / 1_000.0\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert_eq!(rules(&v), vec![(2, Rule::TimeUnits)]);
+    }
+
+    #[test]
+    fn conversion_literals_without_time_idents_pass() {
+        // Epsilons and non-time unit conversions are not time math.
+        let src = "fn f(x: f64) -> bool {\n    (x - 2.0).abs() < 1e-9\n}\nfn gb(bytes: u64) -> f64 {\n    bytes as f64 / 1e9\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn literal_matching_respects_token_boundaries() {
+        let src = "fn f(mean_us: f64) -> f64 {\n    mean_us * 11e9 + 21e-31\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.is_empty(), "11e9/21e-31 are not unit conversions: {v:?}");
+    }
+
+    #[test]
+    fn time_rs_itself_is_exempt_from_time_units() {
+        let src = "pub fn as_millis_f64(ns: u64) -> f64 {\n    ns as f64 * 1e-6\n}\n";
+        let rel = "crates/simcore/src/time.rs";
+        let v = lint_source(rel, Scope::for_path(rel), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "fn f() -> &'static str {\n    r#\"contains .unwrap() and HashMap\"#\n}\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char {\n    let c = '\"';\n    let _ = x;\n    c\n}\nfn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = lint_source(ENGINE, Scope::for_path(ENGINE), src);
+        assert_eq!(rules(&v), vec![(6, Rule::Panic)]);
+    }
+
+    #[test]
+    fn violation_display_is_file_line_rule() {
+        let v = Violation {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::Panic,
+            message: "msg".into(),
+        };
+        assert_eq!(format!("{v}"), "crates/x/src/lib.rs:7: [panic] msg");
+    }
+
+    /// The acceptance check: the workspace this linter ships in must be
+    /// clean, so `cargo test` enforces what CI's `cargo run -p simlint`
+    /// enforces.
+    #[test]
+    fn shipped_workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let violations = lint_workspace(root).expect("workspace readable");
+        assert!(
+            violations.is_empty(),
+            "workspace has lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! CLI entry point: lint the workspace and report violations.
+//!
+//! Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p simlint
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` I/O failure.
+//! Diagnostics are `file:line: [rule] message`, one per line on stderr.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory (or of this crate's manifest when run via cargo) that
+/// contains a `Cargo.toml` with a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("simlint: no workspace Cargo.toml found above the current directory");
+        return ExitCode::from(2);
+    };
+    match simlint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("simlint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "simlint: {} violation{} found",
+                violations.len(),
+                if violations.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::from(1)
+        }
+        Err(err) => {
+            eprintln!("simlint: I/O error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

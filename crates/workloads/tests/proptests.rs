@@ -1,108 +1,131 @@
-//! Property tests for traces and generators.
+//! Property tests for traces and generators, driven by the deterministic
+//! in-repo harness (`mimd_sim::check`).
 
-use proptest::prelude::*;
-
-use mimd_sim::SimTime;
+use mimd_sim::check::{check_cases, f64_in};
+use mimd_sim::{SimRng, SimTime};
 use mimd_workload::io::{read_trace, write_trace};
 use mimd_workload::{Op, Request, SyntheticSpec, Trace, TraceStats};
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![Just(Op::Read), Just(Op::SyncWrite), Just(Op::AsyncWrite),]
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.below(3) {
+        0 => Op::Read,
+        1 => Op::SyncWrite,
+        _ => Op::AsyncWrite,
+    }
 }
 
-fn arb_request(data: u64) -> impl Strategy<Value = Request> {
-    (0u64..1 << 40, arb_op(), 0u64..data - 256, 1u32..256).prop_map(
-        move |(us, op, lbn, sectors)| Request {
-            id: 0,
-            arrival: SimTime::from_micros(us),
-            op,
-            lbn,
-            sectors,
-        },
-    )
+fn arb_request(rng: &mut SimRng, data: u64) -> Request {
+    Request {
+        id: 0,
+        arrival: SimTime::from_micros(rng.below(1 << 40)),
+        op: arb_op(rng),
+        lbn: rng.below(data - 256),
+        sectors: rng.range(1, 256) as u32,
+    }
 }
 
-proptest! {
-    #[test]
-    fn trace_io_round_trips(reqs in prop::collection::vec(arb_request(1_000_000), 0..100)) {
+fn arb_requests(rng: &mut SimRng, data: u64, lo: u64, hi: u64) -> Vec<Request> {
+    let n = lo + rng.below(hi - lo);
+    (0..n).map(|_| arb_request(rng, data)).collect()
+}
+
+#[test]
+fn trace_io_round_trips() {
+    check_cases("trace io round trips", 256, |_, rng| {
+        let reqs = arb_requests(rng, 1_000_000, 0, 100);
         let t = Trace::new("prop", 1_000_000, reqs);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).expect("write");
         let back = read_trace(buf.as_slice()).expect("read");
-        prop_assert_eq!(back.len(), t.len());
-        prop_assert_eq!(back.data_sectors, t.data_sectors);
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.data_sectors, t.data_sectors);
         for (a, b) in t.requests().iter().zip(back.requests()) {
-            prop_assert_eq!(a.op, b.op);
-            prop_assert_eq!(a.lbn, b.lbn);
-            prop_assert_eq!(a.sectors, b.sectors);
-            prop_assert_eq!(a.arrival, b.arrival); // Microsecond inputs are exact.
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.lbn, b.lbn);
+            assert_eq!(a.sectors, b.sectors);
+            assert_eq!(a.arrival, b.arrival); // Microsecond inputs are exact.
         }
-    }
+    });
+}
 
-    #[test]
-    fn traces_are_sorted_and_renumbered(reqs in prop::collection::vec(arb_request(1_000_000), 1..100)) {
+#[test]
+fn traces_are_sorted_and_renumbered() {
+    check_cases("traces are sorted and renumbered", 256, |_, rng| {
+        let reqs = arb_requests(rng, 1_000_000, 1, 100);
         let t = Trace::new("prop", 1_000_000, reqs);
         for (i, w) in t.requests().windows(2).enumerate() {
-            prop_assert!(w[0].arrival <= w[1].arrival);
-            prop_assert_eq!(w[0].id, i as u64);
+            assert!(w[0].arrival <= w[1].arrival);
+            assert_eq!(w[0].id, i as u64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn merge_concat_preserves_counts_and_offsets(
-        a in prop::collection::vec(arb_request(10_000), 0..50),
-        b in prop::collection::vec(arb_request(10_000), 0..50),
-    ) {
-        let ta = Trace::new("a", 10_000, a);
-        let tb = Trace::new("b", 10_000, b);
-        let m = ta.merge_concat(&tb);
-        prop_assert_eq!(m.len(), ta.len() + tb.len());
-        prop_assert_eq!(m.data_sectors, 20_000);
-        prop_assert!(m.max_block() <= 20_000);
-        // Every b-block appears offset by ta's data size.
-        let b_blocks: Vec<u64> = tb.requests().iter().map(|r| r.lbn + 10_000).collect();
-        for blk in b_blocks {
-            prop_assert!(m.requests().iter().any(|r| r.lbn == blk));
-        }
-    }
+#[test]
+fn merge_concat_preserves_counts_and_offsets() {
+    check_cases(
+        "merge_concat preserves counts and offsets",
+        256,
+        |_, rng| {
+            let a = arb_requests(rng, 10_000, 0, 50);
+            let b = arb_requests(rng, 10_000, 0, 50);
+            let ta = Trace::new("a", 10_000, a);
+            let tb = Trace::new("b", 10_000, b);
+            let m = ta.merge_concat(&tb);
+            assert_eq!(m.len(), ta.len() + tb.len());
+            assert_eq!(m.data_sectors, 20_000);
+            assert!(m.max_block() <= 20_000);
+            // Every b-block appears offset by ta's data size.
+            let b_blocks: Vec<u64> = tb.requests().iter().map(|r| r.lbn + 10_000).collect();
+            for blk in b_blocks {
+                assert!(m.requests().iter().any(|r| r.lbn == blk));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn truncate_then_scale_commutes(
-        reqs in prop::collection::vec(arb_request(100_000), 2..60),
-        n in 1usize..30,
-        rate in 1.0f64..32.0,
-    ) {
+#[test]
+fn truncate_then_scale_commutes() {
+    check_cases("truncate then scale commutes", 256, |_, rng| {
+        let reqs = arb_requests(rng, 100_000, 2, 60);
+        let n = rng.range(1, 30) as usize;
+        let rate = f64_in(rng, 1.0, 32.0);
         let t = Trace::new("prop", 100_000, reqs);
         let a = t.truncated(n).scaled(rate);
         let b = t.scaled(rate).truncated(n);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.requests().iter().zip(b.requests()) {
-            prop_assert_eq!(x.lbn, y.lbn);
-            prop_assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.lbn, y.lbn);
+            assert_eq!(x.arrival, y.arrival);
         }
-    }
+    });
+}
 
-    #[test]
-    fn generator_respects_bounds_for_any_seed(seed in 0u64..500) {
+#[test]
+fn generator_respects_bounds_for_any_seed() {
+    check_cases("generator respects bounds for any seed", 64, |_, rng| {
+        let seed = rng.below(500);
         let t = SyntheticSpec::cello_base().generate(seed, 300);
-        prop_assert_eq!(t.len(), 300);
-        prop_assert!(t.max_block() <= t.data_sectors);
+        assert_eq!(t.len(), 300);
+        assert!(t.max_block() <= t.data_sectors);
         for w in t.requests().windows(2) {
-            prop_assert!(w[0].arrival <= w[1].arrival);
+            assert!(w[0].arrival <= w[1].arrival);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stats_fractions_are_probabilities(seed in 0u64..100) {
+#[test]
+fn stats_fractions_are_probabilities() {
+    check_cases("stats fractions are probabilities", 48, |_, rng| {
+        let seed = rng.below(100);
         let t = SyntheticSpec::tpcc().generate(seed, 400);
         let s = TraceStats::of(&t);
-        prop_assert!((0.0..=1.0).contains(&s.read_frac));
-        prop_assert!((0.0..=1.0).contains(&s.async_write_frac));
-        prop_assert!((0.0..=1.0).contains(&s.read_after_write_1h));
-        prop_assert!(s.read_frac + s.async_write_frac <= 1.0 + 1e-12);
-        prop_assert!(s.seek_locality >= 1.0);
+        assert!((0.0..=1.0).contains(&s.read_frac));
+        assert!((0.0..=1.0).contains(&s.async_write_frac));
+        assert!((0.0..=1.0).contains(&s.read_after_write_1h));
+        assert!(s.read_frac + s.async_write_frac <= 1.0 + 1e-12);
+        assert!(s.seek_locality >= 1.0);
         // p_ratio is monotone decreasing in the foreground share.
-        prop_assert!(s.p_ratio(0.0) >= s.p_ratio(0.5));
-        prop_assert!(s.p_ratio(0.5) >= s.p_ratio(1.0));
-    }
+        assert!(s.p_ratio(0.0) >= s.p_ratio(0.5));
+        assert!(s.p_ratio(0.5) >= s.p_ratio(1.0));
+    });
 }
