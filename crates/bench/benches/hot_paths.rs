@@ -9,7 +9,15 @@
 //! external dependencies): each benchmark is warmed up, then timed over
 //! enough iterations to fill a sampling window, and the best-of-N rate is
 //! reported. Run with `cargo bench -p mimd-bench`.
+//!
+//! Environment knobs:
+//!
+//! - `MIMD_BENCH_QUICK=1` — shrink windows for CI smoke runs (noisier).
+//! - `MIMD_BENCH_JSON=<stem>` — also write `<stem>.json` under
+//!   `MIMD_JSON_DIR` (default `target/experiments/`), one
+//!   `{name, ns_per_iter}` record per benchmark, for the perf trajectory.
 
+use std::cell::RefCell;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -18,29 +26,43 @@ use mimd_core::{ArraySim, EngineConfig, Layout, Shape};
 use mimd_disk::{
     DiskParams, Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath,
 };
+use mimd_harness::Json;
 use mimd_sim::{SimDuration, SimRng, SimTime};
 use mimd_workload::{IometerSpec, SyntheticSpec};
 
-/// Times `op` and prints a `name: ns/iter` line.
+thread_local! {
+    static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn quick() -> bool {
+    std::env::var("MIMD_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Times `op`, prints a `name: ns/iter` line, and records the result.
 ///
 /// Runs a short calibration pass to size the measurement loop, then takes
 /// the fastest of five windows, mirroring what Criterion's point estimate
 /// converges to for cheap, steady-state operations.
 fn bench<T>(name: &str, mut op: impl FnMut() -> T) {
-    // Calibrate: find an iteration count that takes ≥ ~10 ms.
+    let (window, passes) = if quick() {
+        (Duration::from_millis(2), 2)
+    } else {
+        (Duration::from_millis(10), 5)
+    };
+    // Calibrate: find an iteration count that fills a window.
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(op());
         }
-        if start.elapsed() >= Duration::from_millis(10) || iters >= 1 << 30 {
+        if start.elapsed() >= window || iters >= 1 << 30 {
             break;
         }
         iters *= 4;
     }
     let mut best = f64::INFINITY;
-    for _ in 0..5 {
+    for _ in 0..passes {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(op());
@@ -51,6 +73,37 @@ fn bench<T>(name: &str, mut op: impl FnMut() -> T) {
         }
     }
     println!("{name:<40} {best:>12.1} ns/iter");
+    RESULTS.with(|r| r.borrow_mut().push((name.to_string(), best)));
+}
+
+/// Writes recorded results as JSON when `MIMD_BENCH_JSON` names a file stem.
+fn emit_json() {
+    let Ok(stem) = std::env::var("MIMD_BENCH_JSON") else {
+        return;
+    };
+    if stem.is_empty() {
+        return;
+    }
+    let records: Vec<Json> = RESULTS.with(|r| {
+        r.borrow()
+            .iter()
+            .map(|(name, ns)| {
+                Json::object([
+                    ("name", Json::from(name.as_str())),
+                    ("ns_per_iter", Json::from(*ns)),
+                ])
+            })
+            .collect()
+    });
+    let doc = Json::object([
+        ("suite", Json::from("hot_paths")),
+        ("quick", Json::from(quick())),
+        ("benches", Json::Arr(records)),
+    ]);
+    match mimd_harness::write_json(&stem, &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write bench JSON: {e}"),
+    }
 }
 
 struct Entry {
@@ -92,7 +145,7 @@ fn bench_disk_estimate() {
         ("analytic", TimingPath::Analytic),
     ] {
         let disk = SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             path,
             PositionKnowledge::Perfect,
             1,
@@ -112,14 +165,14 @@ fn bench_disk_estimate() {
 
 fn bench_scheduler_pick() {
     let disk = SimDisk::new(
-        DiskParams::st39133lwv(),
+        &DiskParams::st39133lwv(),
         TimingPath::Detailed,
         PositionKnowledge::Perfect,
         2,
     )
     .expect("valid params");
     let mut rng = SimRng::seed_from(3);
-    for depth in [8usize, 32, 128] {
+    for depth in [8usize, 16, 32, 128] {
         let queue = make_queue(depth, 3, &mut rng);
         for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
             let mut look = LookState::default();
@@ -164,6 +217,26 @@ fn bench_seek_fit() {
     });
 }
 
+fn bench_seek_estimation() {
+    // The per-candidate seek-time kernel: a sweep of cylinder distances
+    // with the stride pattern a scheduler scan produces.
+    let params = DiskParams::st39133lwv();
+    let profile = SeekProfile::fit(&params).expect("fits");
+    let mut rng = SimRng::seed_from(5);
+    let cyls = params.total_cylinders();
+    let distances: Vec<u32> = (0..1024).map(|_| rng.below(cyls as u64) as u32).collect();
+    let mut i = 0;
+    bench("seek_estimation/read", || {
+        i = (i + 1) % distances.len();
+        profile.seek(black_box(distances[i]))
+    });
+    let mut j = 0;
+    bench("seek_estimation/write", || {
+        j = (j + 1) % distances.len();
+        profile.seek_write(black_box(distances[j]))
+    });
+}
+
 fn bench_engine_closed_loop() {
     let data = 16_000_000u64;
     let spec = IometerSpec::microbench(data, 1.0);
@@ -189,6 +262,8 @@ fn main() {
     bench_scheduler_pick();
     bench_layout_translation();
     bench_seek_fit();
+    bench_seek_estimation();
     bench_engine_closed_loop();
     bench_trace_generation();
+    emit_json();
 }

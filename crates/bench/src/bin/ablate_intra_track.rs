@@ -7,38 +7,79 @@
 //! 4 KiB read latency (where the two should tie) and sequential 64 KiB
 //! streaming bandwidth (where intra-track should collapse by ~Dr).
 
-use mimd_bench::print_table;
-use mimd_core::{ArraySim, EngineConfig, ReplicaPlacement, Shape};
+use mimd_bench::{print_table, run_jobs, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, ReplicaPlacement, Shape};
 use mimd_workload::IometerSpec;
 
 const DATA: u64 = 8_000_000;
+const COMPLETIONS: u64 = 4_000;
 
-fn run(dr: u32, placement: ReplicaPlacement, spec: &IometerSpec, outstanding: usize) -> (f64, f64) {
+fn job(
+    dr: u32,
+    placement: ReplicaPlacement,
+    spec: IometerSpec,
+    outstanding: usize,
+) -> Job<'static> {
     let mut cfg = EngineConfig::new(Shape::sr_array(2, dr).unwrap()).with_perfect_knowledge();
     cfg.replica_placement = placement;
-    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
-    let r = sim.run_closed_loop(spec, outstanding, 4_000);
-    let mb_per_s =
-        r.completed as f64 * spec.sectors as f64 * 512.0 / 1e6 / r.sim_time.as_secs_f64();
-    (r.mean_response_ms(), mb_per_s)
+    Job::closed(cfg, spec, outstanding, COMPLETIONS)
 }
 
 fn main() {
+    const DR: [u32; 4] = [1, 2, 3, 6];
+    let placements = [
+        ("cross", ReplicaPlacement::Even),
+        ("intra", ReplicaPlacement::IntraTrack),
+    ];
+    let mut jobs = Vec::new();
+    for &dr in &DR {
+        for (_, placement) in placements {
+            jobs.push(job(dr, placement, IometerSpec::microbench(DATA, 1.0), 1));
+            jobs.push(job(
+                dr,
+                placement,
+                IometerSpec::sequential_read(DATA, 128),
+                4,
+            ));
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("ablate_intra_track");
     let mut rows = Vec::new();
-    for dr in [1u32, 2, 3, 6] {
-        let random = IometerSpec::microbench(DATA, 1.0);
-        let seq = IometerSpec::sequential_read(DATA, 128);
-        let (lat_cross, _) = run(dr, ReplicaPlacement::Even, &random, 1);
-        let (lat_intra, _) = run(dr, ReplicaPlacement::IntraTrack, &random, 1);
-        let (_, bw_cross) = run(dr, ReplicaPlacement::Even, &seq, 4);
-        let (_, bw_intra) = run(dr, ReplicaPlacement::IntraTrack, &seq, 4);
+    for &dr in &DR {
+        let mut lat = [0.0f64; 2];
+        let mut bw = [0.0f64; 2];
+        for (pi, (label, _)) in placements.iter().enumerate() {
+            let mut random = reports.next().expect("job order");
+            lat[pi] = random.mean_response_ms();
+            log.push(
+                vec![
+                    ("dr", Json::from(dr)),
+                    ("placement", Json::from(*label)),
+                    ("access", Json::from("random_4k")),
+                ],
+                &mut random,
+            );
+            let mut seq = reports.next().expect("job order");
+            bw[pi] = seq.completed as f64 * 128.0 * 512.0 / 1e6 / seq.sim_time.as_secs_f64();
+            log.push(
+                vec![
+                    ("dr", Json::from(dr)),
+                    ("placement", Json::from(*label)),
+                    ("access", Json::from("sequential_64k")),
+                    ("mb_per_s", Json::from(bw[pi])),
+                ],
+                &mut seq,
+            );
+        }
         rows.push(vec![
             dr.to_string(),
-            format!("{lat_cross:.2}"),
-            format!("{lat_intra:.2}"),
-            format!("{bw_cross:.1}"),
-            format!("{bw_intra:.1}"),
-            format!("{:.2}x", bw_cross / bw_intra),
+            format!("{:.2}", lat[0]),
+            format!("{:.2}", lat[1]),
+            format!("{:.1}", bw[0]),
+            format!("{:.1}", bw[1]),
+            format!("{:.2}x", bw[0] / bw[1]),
         ]);
     }
     print_table(
@@ -55,4 +96,5 @@ fn main() {
     );
     println!("\nCross-track placement (the paper's design) should hold sequential");
     println!("bandwidth roughly flat while intra-track loses a factor near Dr.");
+    log.write();
 }

@@ -6,39 +6,72 @@
 //! load balance and positioning choice. The baseline here is static
 //! assignment by block address.
 
-use mimd_bench::{print_table, sizes};
-use mimd_core::{ArraySim, EngineConfig, MirrorPolicy, Shape};
+use mimd_bench::{print_table, run_jobs, sizes, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, MirrorPolicy, Shape};
 use mimd_workload::IometerSpec;
 
 const DATA: u64 = 8_000_000;
 
-fn measure(shape: Shape, policy: MirrorPolicy, outstanding: usize) -> (f64, f64) {
+fn job(shape: Shape, policy: MirrorPolicy, outstanding: usize) -> Job<'static> {
     let mut cfg = EngineConfig::new(shape).with_perfect_knowledge();
     cfg.mirror_policy = policy;
-    let spec = IometerSpec::microbench(DATA, 1.0);
-    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
-    let r = sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS);
-    (r.throughput_iops(), r.mean_response_ms())
+    Job::closed(
+        cfg,
+        IometerSpec::microbench(DATA, 1.0),
+        outstanding,
+        sizes::CLOSED_LOOP_COMPLETIONS,
+    )
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    for (label, shape) in [
+    let shapes = [
         ("1x1x4 mirror", Shape::mirror(4)),
         ("2x1x2 RAID-10", Shape::raid10(4).unwrap()),
         ("1x2x2 SR-Mirror", Shape::new(1, 2, 2).unwrap()),
-    ] {
-        for outstanding in [4usize, 16] {
-            let (t_h, r_h) = measure(shape, MirrorPolicy::IdleOrDuplicate, outstanding);
-            let (t_s, r_s) = measure(shape, MirrorPolicy::Static, outstanding);
+    ];
+    let policies = [
+        ("idle_or_duplicate", MirrorPolicy::IdleOrDuplicate),
+        ("static", MirrorPolicy::Static),
+    ];
+    const OUTSTANDING: [usize; 2] = [4, 16];
+
+    let mut jobs = Vec::new();
+    for (_, shape) in shapes {
+        for &outstanding in &OUTSTANDING {
+            for (_, policy) in policies {
+                jobs.push(job(shape, policy, outstanding));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("ablate_mirror_policy");
+    let mut rows = Vec::new();
+    for (label, _) in shapes {
+        for &outstanding in &OUTSTANDING {
+            let mut iops = [0.0f64; 2];
+            let mut resp = [0.0f64; 2];
+            for (pi, (pname, _)) in policies.iter().enumerate() {
+                let mut r = reports.next().expect("job order");
+                iops[pi] = r.throughput_iops();
+                resp[pi] = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("shape", Json::from(label)),
+                        ("outstanding", Json::from(outstanding)),
+                        ("policy", Json::from(*pname)),
+                    ],
+                    &mut r,
+                );
+            }
             rows.push(vec![
                 label.to_string(),
                 outstanding.to_string(),
-                format!("{t_h:.0}"),
-                format!("{t_s:.0}"),
-                format!("{r_h:.2}"),
-                format!("{r_s:.2}"),
-                format!("{:.2}x", t_h / t_s),
+                format!("{:.0}", iops[0]),
+                format!("{:.0}", iops[1]),
+                format!("{:.2}", resp[0]),
+                format!("{:.2}", resp[1]),
+                format!("{:.2}x", iops[0] / iops[1]),
             ]);
         }
     }
@@ -57,4 +90,5 @@ fn main() {
     );
     println!("\nThe §3.3 heuristic should win on both throughput and latency,");
     println!("most visibly at shallow queues where load imbalance idles disks.");
+    log.write();
 }

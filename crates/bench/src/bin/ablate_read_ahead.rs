@@ -6,24 +6,20 @@
 //! for sequential streams, immaterial for the random workloads the paper
 //! evaluates — confirming the default does not distort the reproduction.
 
-use mimd_bench::{print_table, sizes};
-use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_bench::{print_table, run_jobs, sizes, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, Shape};
 use mimd_workload::IometerSpec;
 
 const DATA: u64 = 16_000_000;
 
-fn run(spec: &IometerSpec, read_ahead: bool, outstanding: usize) -> (f64, f64) {
+fn job(spec: IometerSpec, read_ahead: bool, outstanding: usize) -> Job<'static> {
     let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap()).with_perfect_knowledge();
     cfg.read_ahead = read_ahead;
-    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
-    let r = sim.run_closed_loop(spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS / 2);
-    let mb = r.completed as f64 * spec.sectors as f64 * 512.0 / 1e6 / r.sim_time.as_secs_f64();
-    (r.throughput_iops(), mb)
+    Job::closed(cfg, spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS / 2)
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    for (label, spec, q) in [
+    let specs = [
         ("random 4 KiB reads", IometerSpec::microbench(DATA, 1.0), 8),
         ("random 512 B reads", IometerSpec::random_read_512(DATA), 8),
         (
@@ -32,16 +28,41 @@ fn main() {
             4,
         ),
         ("sequential 4 KiB", IometerSpec::sequential_read(DATA, 8), 4),
-    ] {
-        let (iops_off, mb_off) = run(&spec, false, q);
-        let (iops_on, mb_on) = run(&spec, true, q);
+    ];
+    let mut jobs = Vec::new();
+    for (_, spec, q) in &specs {
+        for read_ahead in [false, true] {
+            jobs.push(job(*spec, read_ahead, *q));
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("ablate_read_ahead");
+    let mut rows = Vec::new();
+    for (label, spec, _) in &specs {
+        let mut iops = [0.0f64; 2];
+        let mut mb = [0.0f64; 2];
+        for (ri, read_ahead) in [false, true].into_iter().enumerate() {
+            let mut r = reports.next().expect("job order");
+            iops[ri] = r.throughput_iops();
+            mb[ri] =
+                r.completed as f64 * spec.sectors as f64 * 512.0 / 1e6 / r.sim_time.as_secs_f64();
+            log.push(
+                vec![
+                    ("workload", Json::from(*label)),
+                    ("read_ahead", Json::from(read_ahead)),
+                    ("mb_per_s", Json::from(mb[ri])),
+                ],
+                &mut r,
+            );
+        }
         rows.push(vec![
             label.to_string(),
-            format!("{iops_off:.0}"),
-            format!("{iops_on:.0}"),
-            format!("{mb_off:.1}"),
-            format!("{mb_on:.1}"),
-            format!("{:.2}x", iops_on / iops_off),
+            format!("{:.0}", iops[0]),
+            format!("{:.0}", iops[1]),
+            format!("{:.1}", mb[0]),
+            format!("{:.1}", mb[1]),
+            format!("{:.2}x", iops[1] / iops[0]),
         ]);
     }
     print_table(
@@ -54,4 +75,5 @@ fn main() {
     println!("\nExpected: sequential streams gain heavily; the paper's random");
     println!("workloads are unaffected, so leaving read-ahead off in the");
     println!("reproduction does not bias any figure.");
+    log.write();
 }

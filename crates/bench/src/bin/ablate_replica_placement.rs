@@ -5,14 +5,14 @@
 //! This binary confirms the choice empirically on random reads and prints
 //! the analytic expectations next to the measured rotational delays.
 
-use mimd_bench::{print_table, sizes};
+use mimd_bench::{print_table, run_jobs, sizes, ExperimentLog, Job, Json};
 use mimd_core::models::components::{rot_read_even, rot_read_random};
-use mimd_core::{ArraySim, EngineConfig, ReplicaPlacement, Shape};
+use mimd_core::{EngineConfig, ReplicaPlacement, Shape};
 use mimd_workload::IometerSpec;
 
 const DATA_SECTORS: u64 = 16_400_000;
 
-fn measure(dr: u32, placement: ReplicaPlacement) -> (f64, f64) {
+fn job(dr: u32, placement: ReplicaPlacement) -> Job<'static> {
     let mut cfg = EngineConfig::new(Shape::sr_array(1, dr).unwrap()).with_perfect_knowledge();
     cfg.replica_placement = placement;
     let spec = IometerSpec {
@@ -22,26 +22,47 @@ fn measure(dr: u32, placement: ReplicaPlacement) -> (f64, f64) {
         seek_locality: 1.0,
         access: mimd_workload::iometer::Access::Random,
     };
-    let mut sim = ArraySim::new(cfg, DATA_SECTORS / dr as u64).expect("fits");
     // Single outstanding request: rotational delay is not masked by queueing.
-    let r = sim.run_closed_loop(&spec, 1, sizes::CLOSED_LOOP_COMPLETIONS / 2);
-    (r.rotation_ms.mean(), r.mean_response_ms())
+    Job::closed(cfg, spec, 1, sizes::CLOSED_LOOP_COMPLETIONS / 2)
 }
 
 fn main() {
+    const DR: [u32; 5] = [1, 2, 3, 4, 6];
+    let placements = [
+        ("even", ReplicaPlacement::Even),
+        ("random", ReplicaPlacement::Random),
+    ];
+    let mut jobs = Vec::new();
+    for &dr in &DR {
+        for (_, placement) in placements {
+            jobs.push(job(dr, placement));
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
     let r_ms = 6.0;
+    let mut log = ExperimentLog::new("ablate_replica_placement");
     let mut rows = Vec::new();
-    for dr in [1u32, 2, 3, 4, 6] {
-        let (rot_even, resp_even) = measure(dr, ReplicaPlacement::Even);
-        let (rot_rand, resp_rand) = measure(dr, ReplicaPlacement::Random);
+    for &dr in &DR {
+        let mut rot = [0.0f64; 2];
+        let mut resp = [0.0f64; 2];
+        for (pi, (pname, _)) in placements.iter().enumerate() {
+            let mut r = reports.next().expect("job order");
+            rot[pi] = r.rotation_ms.mean();
+            resp[pi] = r.mean_response_ms();
+            log.push(
+                vec![("dr", Json::from(dr)), ("placement", Json::from(*pname))],
+                &mut r,
+            );
+        }
         rows.push(vec![
             dr.to_string(),
-            format!("{rot_even:.2}"),
+            format!("{:.2}", rot[0]),
             format!("{:.2}", rot_read_even(r_ms, dr)),
-            format!("{rot_rand:.2}"),
+            format!("{:.2}", rot[1]),
             format!("{:.2}", rot_read_random(r_ms, dr)),
-            format!("{resp_even:.2}"),
-            format!("{resp_rand:.2}"),
+            format!("{:.2}", resp[0]),
+            format!("{:.2}", resp[1]),
         ]);
     }
     print_table(
@@ -58,4 +79,5 @@ fn main() {
         &rows,
     );
     println!("\nEven spacing should track Equation (2) and beat random placement for Dr > 1.");
+    log.write();
 }

@@ -8,27 +8,37 @@
 //! of requests on target; this sweep exposes the trade-off, and the last
 //! section demonstrates the feedback controller converging.
 
-use mimd_bench::{print_table, Workloads};
-use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_bench::{print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
+use mimd_core::{EngineConfig, Shape};
 use mimd_disk::calibration::SlackController;
 use mimd_sim::{SimDuration, SimRng};
 
 fn main() {
     let w = Workloads::generate();
     let sector_us = 28.0; // One sector at ~213 sectors per 6 ms track.
+    const K: [u32; 7] = [0, 1, 2, 4, 8, 16, 32];
 
+    let jobs = K
+        .iter()
+        .map(|&k| {
+            let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap());
+            cfg.slack = SimDuration::from_micros_f64(k as f64 * sector_us);
+            Job::trace(cfg, &w.cello_base)
+        })
+        .collect();
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("ablate_slack");
     let mut rows = Vec::new();
-    for k in [0u32, 1, 2, 4, 8, 16, 32] {
-        let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap());
-        cfg.slack = SimDuration::from_micros_f64(k as f64 * sector_us);
-        let mut sim = ArraySim::new(cfg, w.cello_base.data_sectors).expect("fits");
-        let r = sim.run_trace(&w.cello_base);
+    for &k in &K {
+        let mut r = reports.next().expect("job order");
         rows.push(vec![
             k.to_string(),
             format!("{:.2}%", r.prediction.miss_rate() * 100.0),
             format!("{:.3}", r.rotation_ms.mean()),
             format!("{:.3}", r.mean_response_ms()),
         ]);
+        log.push(vec![("k_sectors", Json::from(k))], &mut r);
     }
     print_table(
         "Ablation — scheduling slack (Cello base, 2x3 SR-Array, tracked heads)",
@@ -54,6 +64,11 @@ fn main() {
             "  after window {window}: k = {} sectors",
             ctl.slack_sectors()
         );
+        log.note(vec![
+            ("controller_window", Json::from(window as u64)),
+            ("k_sectors", Json::from(ctl.slack_sectors())),
+        ]);
     }
     println!("(paper: slack adjusted by feedback to keep >99% of requests on target)");
+    log.write();
 }

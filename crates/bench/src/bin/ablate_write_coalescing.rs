@@ -6,8 +6,8 @@
 //! high-reuse workload with coalescing on and off and reports the
 //! propagation work saved.
 
-use mimd_bench::print_table;
-use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_bench::{print_table, run_jobs, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, Shape};
 use mimd_sim::SimDuration;
 use mimd_workload::SyntheticSpec;
 
@@ -22,12 +22,22 @@ fn main() {
     spec.read_frac = 0.35;
     let trace = spec.generate(77, 20_000).scaled(4.0);
 
+    let modes = [("coalescing on", true), ("coalescing off", false)];
+    let jobs = modes
+        .iter()
+        .map(|(_, coalesce)| {
+            let mut cfg =
+                EngineConfig::new(Shape::sr_array(3, 2).unwrap()).with_perfect_knowledge();
+            cfg.coalesce_delayed = *coalesce;
+            Job::trace(cfg, &trace)
+        })
+        .collect();
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("ablate_write_coalescing");
     let mut rows = Vec::new();
-    for (label, coalesce) in [("coalescing on", true), ("coalescing off", false)] {
-        let mut cfg = EngineConfig::new(Shape::sr_array(3, 2).unwrap()).with_perfect_knowledge();
-        cfg.coalesce_delayed = coalesce;
-        let mut sim = ArraySim::new(cfg, trace.data_sectors).expect("fits");
-        let r = sim.run_trace(&trace);
+    for (label, coalesce) in modes {
+        let mut r = reports.next().expect("job order");
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", r.mean_response_ms()),
@@ -36,6 +46,7 @@ fn main() {
             r.nvram_peak.to_string(),
             r.phys_requests.to_string(),
         ]);
+        log.push(vec![("coalesce", Json::from(coalesce))], &mut r);
     }
     print_table(
         "Ablation — delayed-write coalescing (hot-spot TPC-C variant, 3x2 SR-Array)",
@@ -51,4 +62,5 @@ fn main() {
     );
     println!("\nCoalescing should cut propagated replica writes (and disk busy time)");
     println!("without changing what the foreground observes.");
+    log.write();
 }

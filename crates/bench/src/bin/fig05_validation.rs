@@ -11,50 +11,91 @@
 //! detailed path (the "prototype" role) and the continuous-angle analytic
 //! path (the "simulator" role).
 
-use mimd_bench::{print_table, sizes};
-use mimd_core::{ArraySim, EngineConfig, Shape, WriteMode};
+use mimd_bench::{print_table, run_jobs, sizes, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, Shape, WriteMode};
 use mimd_disk::TimingPath;
 use mimd_workload::IometerSpec;
 
-fn throughput(timing: TimingPath, spec: &IometerSpec, outstanding: usize) -> f64 {
+const OUTSTANDING: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+fn cfg(timing: TimingPath) -> EngineConfig {
     let mut cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap())
         .with_write_mode(WriteMode::Foreground)
         .with_perfect_knowledge();
     cfg.timing = timing;
-    let mut sim = ArraySim::new(cfg, spec.data_sectors).expect("2x3 fits");
-    sim.run_closed_loop(spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
-        .throughput_iops()
-}
-
-fn panel(name: &str, spec: &IometerSpec) -> f64 {
-    let mut rows = Vec::new();
-    let mut worst: f64 = 0.0;
-    for outstanding in [1usize, 2, 4, 8, 16, 32, 64] {
-        let detailed = throughput(TimingPath::Detailed, spec, outstanding);
-        let analytic = throughput(TimingPath::Analytic, spec, outstanding);
-        let gap = (detailed - analytic).abs() / detailed * 100.0;
-        worst = worst.max(gap);
-        rows.push(vec![
-            outstanding.to_string(),
-            format!("{detailed:.0}"),
-            format!("{analytic:.0}"),
-            format!("{gap:.1}%"),
-        ]);
-    }
-    print_table(
-        &format!("Figure 5 — {name}: 2x3 SR-Array, RSATF, 512 B requests"),
-        &["outstanding", "detailed (IO/s)", "analytic (IO/s)", "gap"],
-        &rows,
-    );
-    worst
+    cfg
 }
 
 fn main() {
     let data = 16_400_000u64;
-    let w1 = panel("random reads", &IometerSpec::random_read_512(data));
-    let w2 = panel(
-        "50/50 reads/writes (foreground propagation)",
-        &IometerSpec::mixed_512(data),
+    let panels = [
+        ("random reads", IometerSpec::random_read_512(data)),
+        (
+            "50/50 reads/writes (foreground propagation)",
+            IometerSpec::mixed_512(data),
+        ),
+    ];
+
+    // Every (panel, depth, timing-path) run, enumerated up front and fanned
+    // across the harness pool; results come back in this same order.
+    let mut jobs = Vec::new();
+    for (_, spec) in &panels {
+        for &q in &OUTSTANDING {
+            for timing in [TimingPath::Detailed, TimingPath::Analytic] {
+                jobs.push(Job::closed(
+                    cfg(timing),
+                    *spec,
+                    q,
+                    sizes::CLOSED_LOOP_COMPLETIONS,
+                ));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig05_validation");
+    let mut worst = Vec::new();
+    for (name, _) in &panels {
+        let mut rows = Vec::new();
+        let mut w: f64 = 0.0;
+        for &q in &OUTSTANDING {
+            let mut det = reports.next().expect("job order");
+            let mut ana = reports.next().expect("job order");
+            let detailed = det.throughput_iops();
+            let analytic = ana.throughput_iops();
+            let gap = (detailed - analytic).abs() / detailed * 100.0;
+            w = w.max(gap);
+            rows.push(vec![
+                q.to_string(),
+                format!("{detailed:.0}"),
+                format!("{analytic:.0}"),
+                format!("{gap:.1}%"),
+            ]);
+            for (timing, r) in [("detailed", &mut det), ("analytic", &mut ana)] {
+                log.push(
+                    vec![
+                        ("panel", Json::from(*name)),
+                        ("timing", Json::from(timing)),
+                        ("outstanding", Json::from(q)),
+                    ],
+                    r,
+                );
+            }
+        }
+        print_table(
+            &format!("Figure 5 — {name}: 2x3 SR-Array, RSATF, 512 B requests"),
+            &["outstanding", "detailed (IO/s)", "analytic (IO/s)", "gap"],
+            &rows,
+        );
+        worst.push(w);
+    }
+    println!(
+        "\nWorst discrepancy: reads {:.1}%, mixed {:.1}% (paper: under 3% everywhere)",
+        worst[0], worst[1]
     );
-    println!("\nWorst discrepancy: reads {w1:.1}%, mixed {w2:.1}% (paper: under 3% everywhere)");
+    log.note(vec![
+        ("worst_gap_reads_pct", Json::from(worst[0])),
+        ("worst_gap_mixed_pct", Json::from(worst[1])),
+    ]);
+    log.write();
 }

@@ -7,79 +7,130 @@
 //! the other configurations use (rotation-aware) SATF, mirroring the
 //! paper's "highly optimized" baselines.
 
-use mimd_bench::{drive_character, ms, print_table, run_trace, Workloads};
+use mimd_bench::Workloads;
+use mimd_bench::{drive_character, ms, print_table, run_jobs, ExperimentLog, Job, Json};
 use mimd_core::models::{best_rw_latency, recommend_latency_shape};
 use mimd_core::{EngineConfig, Shape};
-use mimd_workload::{Trace, TraceStats};
+use mimd_workload::TraceStats;
 
-fn panel(name: &str, trace: &Trace, locality: f64) {
-    let character = drive_character().with_locality(locality);
-    let overhead = drive_character().overhead_ms;
-    let stats = TraceStats::of(trace);
-    // All writes propagate in the background at original speed (§4.1), so
-    // the model's p is the visible-op read/write indifference point ~1.
-    let p = 1.0;
-
-    let mut rows = Vec::new();
-    for d in [1u32, 2, 3, 4, 6, 8, 9, 12, 16] {
-        let sr_shape = recommend_latency_shape(&character, d, p);
-        let sr = run_trace(EngineConfig::new(sr_shape), trace).mean_response_ms();
-        let stripe = run_trace(EngineConfig::new(Shape::striping(d)), trace).mean_response_ms();
-        let raid10 =
-            Shape::raid10(d).map(|s| run_trace(EngineConfig::new(s), trace).mean_response_ms());
-        let mirror = if d > 1 {
-            Some(run_trace(EngineConfig::new(Shape::mirror(d)), trace).mean_response_ms())
-        } else {
-            None
-        };
-        let model = best_rw_latency(&character, d, p)
-            .map(|t| t + overhead)
-            .unwrap_or(f64::NAN);
-        rows.push(vec![
-            d.to_string(),
-            sr_shape.to_string(),
-            ms(sr),
-            ms(stripe),
-            raid10.map(ms).unwrap_or_else(|| "-".into()),
-            mirror.map(ms).unwrap_or_else(|| "-".into()),
-            ms(model),
-        ]);
-    }
-    println!(
-        "\n[{name}] L = {:.2}, reads = {:.1}%, async = {:.1}%",
-        stats.seek_locality,
-        stats.read_frac * 100.0,
-        stats.async_write_frac * 100.0
-    );
-    print_table(
-        &format!("Figure 6 — {name}: mean response time (ms) vs disks"),
-        &[
-            "D", "SR cfg", "SR-Array", "striping", "RAID-10", "mirror", "model",
-        ],
-        &rows,
-    );
-}
+const DISKS: [u32; 9] = [1, 2, 3, 4, 6, 8, 9, 12, 16];
 
 fn main() {
     let w = Workloads::generate();
-    panel("Cello base", &w.cello_base, 4.14);
-    panel("Cello disk 6", &w.cello_disk6, 16.67);
+    let panels = [
+        ("Cello base", &w.cello_base, 4.14),
+        ("Cello disk 6", &w.cello_disk6, 16.67),
+    ];
+
+    // Enumerate every run of both panels up front (SR, stripe, RAID-10
+    // where the disk count is even, mirror for D > 1) and fan them out;
+    // the headline ratios reuse the panel measurements — the simulator is
+    // deterministic, so a rerun would produce the same numbers.
+    let mut jobs = Vec::new();
+    for (_, trace, locality) in &panels {
+        let character = drive_character().with_locality(*locality);
+        for &d in &DISKS {
+            let sr_shape = recommend_latency_shape(&character, d, 1.0);
+            jobs.push(Job::trace(EngineConfig::new(sr_shape), trace));
+            jobs.push(Job::trace(EngineConfig::new(Shape::striping(d)), trace));
+            if let Some(s) = Shape::raid10(d) {
+                jobs.push(Job::trace(EngineConfig::new(s), trace));
+            }
+            if d > 1 {
+                jobs.push(Job::trace(EngineConfig::new(Shape::mirror(d)), trace));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig06_cello_latency");
+    // Cello-base measurements the headline needs: (single, sr@6, stripe@6, raid10@6).
+    let (mut single, mut sr6, mut stripe6, mut raid10_6) = (f64::NAN, f64::NAN, f64::NAN, f64::NAN);
+    for (pi, (name, trace, locality)) in panels.iter().enumerate() {
+        let character = drive_character().with_locality(*locality);
+        let overhead = drive_character().overhead_ms;
+        let stats = TraceStats::of(trace);
+        // All writes propagate in the background at original speed (§4.1), so
+        // the model's p is the visible-op read/write indifference point ~1.
+        let p = 1.0;
+
+        let mut rows = Vec::new();
+        for &d in &DISKS {
+            let sr_shape = recommend_latency_shape(&character, d, 1.0);
+            let mut take = |config: &str, shape: Shape| {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from(*name)),
+                        ("d", Json::from(d)),
+                        ("config", Json::from(config)),
+                        ("shape", Json::from(shape.to_string())),
+                    ],
+                    &mut r,
+                );
+                mean
+            };
+            let sr = take("sr_array", sr_shape);
+            let stripe = take("striping", Shape::striping(d));
+            let raid10 = Shape::raid10(d).map(|s| take("raid10", s));
+            let mirror = if d > 1 {
+                Some(take("mirror", Shape::mirror(d)))
+            } else {
+                None
+            };
+            if pi == 0 {
+                if d == 1 {
+                    single = stripe;
+                }
+                if d == 6 {
+                    sr6 = sr;
+                    stripe6 = stripe;
+                    raid10_6 = raid10.expect("raid10 exists at D=6");
+                }
+            }
+            let model = best_rw_latency(&character, d, p)
+                .map(|t| t + overhead)
+                .unwrap_or(f64::NAN);
+            rows.push(vec![
+                d.to_string(),
+                sr_shape.to_string(),
+                ms(sr),
+                ms(stripe),
+                raid10.map(ms).unwrap_or_else(|| "-".into()),
+                mirror.map(ms).unwrap_or_else(|| "-".into()),
+                ms(model),
+            ]);
+        }
+        println!(
+            "\n[{name}] L = {:.2}, reads = {:.1}%, async = {:.1}%",
+            stats.seek_locality,
+            stats.read_frac * 100.0,
+            stats.async_write_frac * 100.0
+        );
+        print_table(
+            &format!("Figure 6 — {name}: mean response time (ms) vs disks"),
+            &[
+                "D", "SR cfg", "SR-Array", "striping", "RAID-10", "mirror", "model",
+            ],
+            &rows,
+        );
+    }
 
     // The paper's headline: at six disks on Cello base, the SR-Array is
     // 1.23x faster than RAID-10, 1.42x faster than striping, and 1.94x
     // faster than a single disk.
-    let character = drive_character().with_locality(4.14);
-    let sr_shape = recommend_latency_shape(&character, 6, 1.0);
-    let sr = run_trace(EngineConfig::new(sr_shape), &w.cello_base).mean_response_ms();
-    let stripe = run_trace(EngineConfig::new(Shape::striping(6)), &w.cello_base).mean_response_ms();
-    let raid10 =
-        run_trace(EngineConfig::new(Shape::raid10(6).unwrap()), &w.cello_base).mean_response_ms();
-    let single = run_trace(EngineConfig::new(Shape::striping(1)), &w.cello_base).mean_response_ms();
     println!("\nHeadline ratios at D=6 on Cello base (paper: 1.23x / 1.42x / 1.94x):");
     println!(
-        "  SR-Array {sr:.2} ms | vs RAID-10 {:.2}x | vs striping {:.2}x | vs single disk {:.2}x",
-        raid10 / sr,
-        stripe / sr,
-        single / sr
+        "  SR-Array {sr6:.2} ms | vs RAID-10 {:.2}x | vs striping {:.2}x | vs single disk {:.2}x",
+        raid10_6 / sr6,
+        stripe6 / sr6,
+        single / sr6
     );
+    log.note(vec![
+        ("headline_vs_raid10", Json::from(raid10_6 / sr6)),
+        ("headline_vs_striping", Json::from(stripe6 / sr6)),
+        ("headline_vs_single", Json::from(single / sr6)),
+    ]);
+    log.write();
 }

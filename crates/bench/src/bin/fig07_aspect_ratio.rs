@@ -6,58 +6,89 @@
 //! recommends. The paper's claim: "the model is largely successful at
 //! finding good SR-Array configurations".
 
-use mimd_bench::{drive_character, ms, print_table, run_trace, Workloads};
+use mimd_bench::{drive_character, ms, print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
 use mimd_core::models::recommend_latency_shape;
 use mimd_core::{EngineConfig, Shape};
-use mimd_workload::Trace;
 
-fn panel(name: &str, trace: &Trace, locality: f64) {
-    let character = drive_character().with_locality(locality);
-    let mut rows = Vec::new();
-    let mut model_rank_sum = 0.0;
-    let mut panels = 0.0;
-    for d in [4u32, 6, 8, 9, 12, 16] {
-        let recommended = recommend_latency_shape(&character, d, 1.0);
-        let mut results: Vec<(Shape, f64)> = Shape::enumerate_sr(d, 6)
-            .into_iter()
-            .map(|s| (s, run_trace(EngineConfig::new(s), trace).mean_response_ms()))
-            .collect();
-        results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        let rank = results
-            .iter()
-            .position(|(s, _)| *s == recommended)
-            .map(|i| i + 1)
-            .unwrap_or(0);
-        model_rank_sum += rank as f64;
-        panels += 1.0;
-        let alternatives = results
-            .iter()
-            .map(|(s, t)| {
-                let mark = if *s == recommended { "*" } else { "" };
-                format!("{}x{}{mark}={}", s.ds, s.dr, ms(*t))
-            })
-            .collect::<Vec<_>>()
-            .join("  ");
-        rows.push(vec![
-            d.to_string(),
-            recommended.to_string(),
-            format!("{rank}/{}", results.len()),
-            alternatives,
-        ]);
-    }
-    print_table(
-        &format!("Figure 7 — {name}: SR-Array alternatives (mean ms; * = model's pick)"),
-        &["D", "model pick", "rank", "alternatives (best first)"],
-        &rows,
-    );
-    println!(
-        "  mean rank of the model's pick: {:.1} (1.0 = always best)",
-        model_rank_sum / panels
-    );
-}
+const DISKS: [u32; 6] = [4, 6, 8, 9, 12, 16];
 
 fn main() {
     let w = Workloads::generate();
-    panel("Cello base", &w.cello_base, 4.14);
-    panel("Cello disk 6", &w.cello_disk6, 16.67);
+    let panels = [
+        ("Cello base", &w.cello_base, 4.14),
+        ("Cello disk 6", &w.cello_disk6, 16.67),
+    ];
+
+    // One job per SR factorization per disk budget per panel.
+    let mut jobs = Vec::new();
+    for (_, trace, _) in &panels {
+        for &d in &DISKS {
+            for s in Shape::enumerate_sr(d, 6) {
+                jobs.push(Job::trace(EngineConfig::new(s), trace));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig07_aspect_ratio");
+    for (name, _, locality) in &panels {
+        let character = drive_character().with_locality(*locality);
+        let mut rows = Vec::new();
+        let mut model_rank_sum = 0.0;
+        let mut panel_count = 0.0;
+        for &d in &DISKS {
+            let recommended = recommend_latency_shape(&character, d, 1.0);
+            let mut results: Vec<(Shape, f64)> = Shape::enumerate_sr(d, 6)
+                .into_iter()
+                .map(|s| {
+                    let mut r = reports.next().expect("job order");
+                    let mean = r.mean_response_ms();
+                    log.push(
+                        vec![
+                            ("panel", Json::from(*name)),
+                            ("d", Json::from(d)),
+                            ("shape", Json::from(s.to_string())),
+                            ("recommended", Json::from(s == recommended)),
+                        ],
+                        &mut r,
+                    );
+                    (s, mean)
+                })
+                .collect();
+            results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            let rank = results
+                .iter()
+                .position(|(s, _)| *s == recommended)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            model_rank_sum += rank as f64;
+            panel_count += 1.0;
+            let alternatives = results
+                .iter()
+                .map(|(s, t)| {
+                    let mark = if *s == recommended { "*" } else { "" };
+                    format!("{}x{}{mark}={}", s.ds, s.dr, ms(*t))
+                })
+                .collect::<Vec<_>>()
+                .join("  ");
+            rows.push(vec![
+                d.to_string(),
+                recommended.to_string(),
+                format!("{rank}/{}", results.len()),
+                alternatives,
+            ]);
+        }
+        print_table(
+            &format!("Figure 7 — {name}: SR-Array alternatives (mean ms; * = model's pick)"),
+            &["D", "model pick", "rank", "alternatives (best first)"],
+            &rows,
+        );
+        let mean_rank = model_rank_sum / panel_count;
+        println!("  mean rank of the model's pick: {mean_rank:.1} (1.0 = always best)");
+        log.note(vec![
+            ("panel", Json::from(*name)),
+            ("mean_model_rank", Json::from(mean_rank)),
+        ]);
+    }
+    log.write();
 }

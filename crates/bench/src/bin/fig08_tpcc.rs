@@ -7,10 +7,13 @@
 //! as a 36×1×1 stripe. The workload's shorter idle periods stress delayed
 //! propagation, and D-way mirroring cannot sustain the rate at all.
 
-use mimd_bench::{drive_character, ms, print_table, run_trace, Workloads};
+use mimd_bench::{drive_character, ms, print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
 use mimd_core::models::recommend_latency_shape;
 use mimd_core::{EngineConfig, Shape};
 use mimd_workload::TraceStats;
+
+const DISKS_A: [u32; 5] = [12, 18, 24, 30, 36];
+const DISKS_B: [u32; 3] = [12, 24, 36];
 
 fn main() {
     let w = Workloads::generate();
@@ -21,13 +24,50 @@ fn main() {
     let p = stats.p_ratio(0.5);
     let character = drive_character().with_locality(stats.seek_locality);
 
-    let mut rows = Vec::new();
-    for d in [12u32, 18, 24, 30, 36] {
+    // Panel (a) then panel (b), one flat job list; the headline reuses the
+    // measurements (the simulator is deterministic).
+    let mut jobs = Vec::new();
+    for &d in &DISKS_A {
         let sr_shape = recommend_latency_shape(&character, d, p);
-        let sr = run_trace(EngineConfig::new(sr_shape), trace).mean_response_ms();
-        let stripe = run_trace(EngineConfig::new(Shape::striping(d)), trace).mean_response_ms();
-        let raid10 =
-            Shape::raid10(d).map(|s| run_trace(EngineConfig::new(s), trace).mean_response_ms());
+        jobs.push(Job::trace(EngineConfig::new(sr_shape), trace));
+        jobs.push(Job::trace(EngineConfig::new(Shape::striping(d)), trace));
+        if let Some(s) = Shape::raid10(d) {
+            jobs.push(Job::trace(EngineConfig::new(s), trace));
+        }
+    }
+    for &d in &DISKS_B {
+        for s in Shape::enumerate_sr(d, 6) {
+            jobs.push(Job::trace(EngineConfig::new(s), trace));
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig08_tpcc");
+    let (mut stripe36, mut raid10_36, mut sr_9x4) = (f64::NAN, f64::NAN, f64::NAN);
+    let mut rows = Vec::new();
+    for &d in &DISKS_A {
+        let sr_shape = recommend_latency_shape(&character, d, p);
+        let mut take = |config: &str, shape: Shape| {
+            let mut r = reports.next().expect("job order");
+            let mean = r.mean_response_ms();
+            log.push(
+                vec![
+                    ("panel", Json::from("a")),
+                    ("d", Json::from(d)),
+                    ("config", Json::from(config)),
+                    ("shape", Json::from(shape.to_string())),
+                ],
+                &mut r,
+            );
+            mean
+        };
+        let sr = take("sr_array", sr_shape);
+        let stripe = take("striping", Shape::striping(d));
+        let raid10 = Shape::raid10(d).map(|s| take("raid10", s));
+        if d == 36 {
+            stripe36 = stripe;
+            raid10_36 = raid10.expect("raid10 exists at D=36");
+        }
         rows.push(vec![
             d.to_string(),
             sr_shape.to_string(),
@@ -43,10 +83,25 @@ fn main() {
     );
 
     let mut rows_b = Vec::new();
-    for d in [12u32, 24, 36] {
+    for &d in &DISKS_B {
         let mut results: Vec<(Shape, f64)> = Shape::enumerate_sr(d, 6)
             .into_iter()
-            .map(|s| (s, run_trace(EngineConfig::new(s), trace).mean_response_ms()))
+            .map(|s| {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from("b")),
+                        ("d", Json::from(d)),
+                        ("shape", Json::from(s.to_string())),
+                    ],
+                    &mut r,
+                );
+                if d == 36 && s == Shape::sr_array(9, 4).unwrap() {
+                    sr_9x4 = mean;
+                }
+                (s, mean)
+            })
             .collect();
         results.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
         rows_b.push(vec![
@@ -65,13 +120,15 @@ fn main() {
     );
 
     // Headline ratios at 36 disks.
-    let sr = run_trace(EngineConfig::new(Shape::sr_array(9, 4).unwrap()), trace).mean_response_ms();
-    let raid10 = run_trace(EngineConfig::new(Shape::raid10(36).unwrap()), trace).mean_response_ms();
-    let stripe = run_trace(EngineConfig::new(Shape::striping(36)), trace).mean_response_ms();
     println!("\nHeadline at D=36 (paper: 9x4x1 is 1.23x vs RAID-10, 1.39x vs striping):");
     println!(
-        "  9x4x1 {sr:.2} ms | 18x1x2 {raid10:.2} ms ({:.2}x) | 36x1x1 {stripe:.2} ms ({:.2}x)",
-        raid10 / sr,
-        stripe / sr
+        "  9x4x1 {sr_9x4:.2} ms | 18x1x2 {raid10_36:.2} ms ({:.2}x) | 36x1x1 {stripe36:.2} ms ({:.2}x)",
+        raid10_36 / sr_9x4,
+        stripe36 / sr_9x4
     );
+    log.note(vec![
+        ("headline_vs_raid10", Json::from(raid10_36 / sr_9x4)),
+        ("headline_vs_striping", Json::from(stripe36 / sr_9x4)),
+    ]);
+    log.write();
 }

@@ -7,58 +7,15 @@
 //! a smarter scheduler — a 2×3×1 SR-Array under RLOOK still beats a 6×1×1
 //! stripe under SATF.
 
-use mimd_bench::{ms, print_table, run_trace, Workloads};
+use mimd_bench::{ms, print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
 use mimd_core::{EngineConfig, Policy, Shape};
 use mimd_workload::Trace;
 
-fn panel(name: &str, trace: &Trace, sr: Shape, stripe: Shape, rates: &[f64]) {
-    let mut rows = Vec::new();
-    for &rate in rates {
-        let t = trace.scaled(rate);
-        let run = |shape: Shape, policy: Policy| {
-            run_trace(EngineConfig::new(shape).with_policy(policy), &t).mean_response_ms()
-        };
-        let look = run(stripe, Policy::Look);
-        let satf = run(stripe, Policy::Satf);
-        let rlook = run(sr, Policy::Rlook);
-        let rsatf = run(sr, Policy::Rsatf);
-        rows.push(vec![
-            format!("{rate}"),
-            ms(look),
-            ms(satf),
-            ms(rlook),
-            ms(rsatf),
-            format!("{:.2}", look / satf),
-            format!("{:.2}", rlook / rsatf),
-        ]);
-    }
-    print_table(
-        &format!(
-            "Figure 9 — {name}: {stripe} stripe (LOOK/SATF) vs {sr} SR-Array (RLOOK/RSATF), mean ms"
-        ),
-        &[
-            "scale",
-            "LOOK",
-            "SATF",
-            "RLOOK",
-            "RSATF",
-            "LOOK/SATF",
-            "RLOOK/RSATF",
-        ],
-        &rows,
-    );
-    // The paper's point that scheduling cannot rescue a mis-configured
-    // array: the SR-Array under the weaker RLOOK still beats the stripe
-    // under SATF (§4.1).
-    let t = trace.scaled(rates[1]);
-    let rlook_sr =
-        run_trace(EngineConfig::new(sr).with_policy(Policy::Rlook), &t).mean_response_ms();
-    let satf_stripe =
-        run_trace(EngineConfig::new(stripe).with_policy(Policy::Satf), &t).mean_response_ms();
-    println!(
-        "  {sr} under RLOOK: {rlook_sr:.2} ms vs {stripe} under SATF: {satf_stripe:.2} ms \
-         (paper: the SR-Array still wins)"
-    );
+struct Panel {
+    name: &'static str,
+    sr: Shape,
+    stripe: Shape,
+    rates: &'static [f64],
 }
 
 fn main() {
@@ -67,18 +24,107 @@ fn main() {
     // queueing regime where scheduler quality separates: Cello's original
     // 2.84 IO/s leaves six modern disks ~99% idle, so the interesting
     // region sits at two orders of magnitude acceleration.
-    panel(
-        "Cello base, 6 disks",
-        &w.cello_base,
-        Shape::sr_array(2, 3).unwrap(),
-        Shape::striping(6),
-        &[1.0, 50.0, 100.0, 150.0, 200.0, 250.0],
-    );
-    panel(
-        "TPC-C, 36 disks",
-        &w.tpcc,
-        Shape::sr_array(9, 4).unwrap(),
-        Shape::striping(36),
-        &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
-    );
+    let panels = [
+        Panel {
+            name: "Cello base, 6 disks",
+            sr: Shape::sr_array(2, 3).unwrap(),
+            stripe: Shape::striping(6),
+            rates: &[1.0, 50.0, 100.0, 150.0, 200.0, 250.0],
+        },
+        Panel {
+            name: "TPC-C, 36 disks",
+            sr: Shape::sr_array(9, 4).unwrap(),
+            stripe: Shape::striping(36),
+            rates: &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+        },
+    ];
+    let traces = [&w.cello_base, &w.tpcc];
+
+    // Materialise every scaled trace once, then enumerate the four policy
+    // runs per rate; the "scheduling cannot rescue a bad shape" comparison
+    // reuses the rate sweep's runs (the simulator is deterministic).
+    let scaled: Vec<Vec<Trace>> = panels
+        .iter()
+        .zip(traces)
+        .map(|(p, t)| p.rates.iter().map(|&r| t.scaled(r)).collect())
+        .collect();
+    let mut jobs = Vec::new();
+    for (p, traces) in panels.iter().zip(&scaled) {
+        for t in traces {
+            for (shape, policy) in [
+                (p.stripe, Policy::Look),
+                (p.stripe, Policy::Satf),
+                (p.sr, Policy::Rlook),
+                (p.sr, Policy::Rsatf),
+            ] {
+                jobs.push(Job::trace(EngineConfig::new(shape).with_policy(policy), t));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig09_schedulers");
+    for p in &panels {
+        let mut rows = Vec::new();
+        // (RLOOK on SR, SATF on stripe) at the second swept rate.
+        let (mut rescue_rlook, mut rescue_satf) = (f64::NAN, f64::NAN);
+        for (ri, &rate) in p.rates.iter().enumerate() {
+            let mut take = |policy: Policy, shape: Shape| {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from(p.name)),
+                        ("scale", Json::from(rate)),
+                        ("shape", Json::from(shape.to_string())),
+                        ("policy", Json::from(policy.to_string())),
+                    ],
+                    &mut r,
+                );
+                mean
+            };
+            let look = take(Policy::Look, p.stripe);
+            let satf = take(Policy::Satf, p.stripe);
+            let rlook = take(Policy::Rlook, p.sr);
+            let rsatf = take(Policy::Rsatf, p.sr);
+            if ri == 1 {
+                rescue_rlook = rlook;
+                rescue_satf = satf;
+            }
+            rows.push(vec![
+                format!("{rate}"),
+                ms(look),
+                ms(satf),
+                ms(rlook),
+                ms(rsatf),
+                format!("{:.2}", look / satf),
+                format!("{:.2}", rlook / rsatf),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 9 — {}: {} stripe (LOOK/SATF) vs {} SR-Array (RLOOK/RSATF), mean ms",
+                p.name, p.stripe, p.sr
+            ),
+            &[
+                "scale",
+                "LOOK",
+                "SATF",
+                "RLOOK",
+                "RSATF",
+                "LOOK/SATF",
+                "RLOOK/RSATF",
+            ],
+            &rows,
+        );
+        // The paper's point that scheduling cannot rescue a mis-configured
+        // array: the SR-Array under the weaker RLOOK still beats the stripe
+        // under SATF (§4.1).
+        println!(
+            "  {} under RLOOK: {rescue_rlook:.2} ms vs {} under SATF: {rescue_satf:.2} ms \
+             (paper: the SR-Array still wins)",
+            p.sr, p.stripe
+        );
+    }
+    log.write();
 }

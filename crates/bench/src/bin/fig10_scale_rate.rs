@@ -8,71 +8,103 @@
 //! from 9×4×1 toward pure striping as the rate grows. The paper quotes
 //! sustainable-rate ratios at a 15 ms response-time budget.
 
-use mimd_bench::{print_table, run_trace, Workloads};
+use mimd_bench::{print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
 use mimd_core::{EngineConfig, Shape};
 use mimd_workload::Trace;
 
 const BUDGET_MS: f64 = 15.0;
 
-fn panel(name: &str, trace: &Trace, shapes: &[Shape], rates: &[f64]) {
-    let mut rows = Vec::new();
-    // Highest swept rate each shape sustains within the budget.
-    let mut sustained: Vec<(Shape, f64)> = shapes.iter().map(|s| (*s, 0.0)).collect();
-    for &rate in rates {
-        let t = trace.scaled(rate);
-        let mut row = vec![format!("{rate}")];
-        for (i, shape) in shapes.iter().enumerate() {
-            let mean = run_trace(EngineConfig::new(*shape), &t).mean_response_ms();
-            if mean <= BUDGET_MS {
-                sustained[i].1 = sustained[i].1.max(rate);
-            }
-            row.push(if mean < 1_000.0 {
-                format!("{mean:.2}")
-            } else {
-                ">1s".into()
-            });
-        }
-        rows.push(row);
-    }
-    let mut header: Vec<String> = vec!["scale".into()];
-    header.extend(shapes.iter().map(|s| s.to_string()));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    print_table(
-        &format!("Figure 10 — {name}: mean response (ms) vs rate scale"),
-        &header_refs,
-        &rows,
-    );
-    println!("  sustainable rate at {BUDGET_MS} ms budget:");
-    for (shape, rate) in sustained {
-        println!("    {shape:>8}: {rate}x");
-    }
-}
-
 fn main() {
     let w = Workloads::generate();
-    panel(
-        "Cello base, 6 disks",
-        &w.cello_base,
-        &[
-            Shape::sr_array(2, 3).unwrap(),
-            Shape::sr_array(3, 2).unwrap(),
-            Shape::sr_array(1, 6).unwrap(),
-            Shape::striping(6),
-            Shape::raid10(6).unwrap(),
-            Shape::mirror(6),
-        ],
-        &[1.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0],
-    );
-    panel(
-        "TPC-C, 36 disks",
-        &w.tpcc,
-        &[
-            Shape::sr_array(9, 4).unwrap(),
-            Shape::sr_array(12, 3).unwrap(),
-            Shape::sr_array(18, 2).unwrap(),
-            Shape::striping(36),
-            Shape::raid10(36).unwrap(),
-        ],
-        &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
-    );
+    let panels: [(&str, &Trace, Vec<Shape>, &[f64]); 2] = [
+        (
+            "Cello base, 6 disks",
+            &w.cello_base,
+            vec![
+                Shape::sr_array(2, 3).unwrap(),
+                Shape::sr_array(3, 2).unwrap(),
+                Shape::sr_array(1, 6).unwrap(),
+                Shape::striping(6),
+                Shape::raid10(6).unwrap(),
+                Shape::mirror(6),
+            ],
+            &[1.0, 50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0],
+        ),
+        (
+            "TPC-C, 36 disks",
+            &w.tpcc,
+            vec![
+                Shape::sr_array(9, 4).unwrap(),
+                Shape::sr_array(12, 3).unwrap(),
+                Shape::sr_array(18, 2).unwrap(),
+                Shape::striping(36),
+                Shape::raid10(36).unwrap(),
+            ],
+            &[1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0],
+        ),
+    ];
+
+    // Materialise every scaled trace once, then one job per (rate, shape).
+    let scaled: Vec<Vec<Trace>> = panels
+        .iter()
+        .map(|(_, t, _, rates)| rates.iter().map(|&r| t.scaled(r)).collect())
+        .collect();
+    let mut jobs = Vec::new();
+    for ((_, _, shapes, _), traces) in panels.iter().zip(&scaled) {
+        for t in traces {
+            for shape in shapes {
+                jobs.push(Job::trace(EngineConfig::new(*shape), t));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig10_scale_rate");
+    for (name, _, shapes, rates) in &panels {
+        let mut rows = Vec::new();
+        // Highest swept rate each shape sustains within the budget.
+        let mut sustained: Vec<(Shape, f64)> = shapes.iter().map(|s| (*s, 0.0)).collect();
+        for &rate in *rates {
+            let mut row = vec![format!("{rate}")];
+            for (i, shape) in shapes.iter().enumerate() {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from(*name)),
+                        ("scale", Json::from(rate)),
+                        ("shape", Json::from(shape.to_string())),
+                    ],
+                    &mut r,
+                );
+                if mean <= BUDGET_MS {
+                    sustained[i].1 = sustained[i].1.max(rate);
+                }
+                row.push(if mean < 1_000.0 {
+                    format!("{mean:.2}")
+                } else {
+                    ">1s".into()
+                });
+            }
+            rows.push(row);
+        }
+        let mut header: Vec<String> = vec!["scale".into()];
+        header.extend(shapes.iter().map(|s| s.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("Figure 10 — {name}: mean response (ms) vs rate scale"),
+            &header_refs,
+            &rows,
+        );
+        println!("  sustainable rate at {BUDGET_MS} ms budget:");
+        for (shape, rate) in sustained {
+            println!("    {shape:>8}: {rate}x");
+            log.note(vec![
+                ("panel", Json::from(*name)),
+                ("shape", Json::from(shape.to_string())),
+                ("sustainable_scale_at_15ms", Json::from(rate)),
+            ]);
+        }
+    }
+    log.write();
 }

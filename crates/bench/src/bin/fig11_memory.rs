@@ -7,37 +7,26 @@
 //! rate rises, because diminishing cache locality and forced writes blunt
 //! memory while extra disks speed up *every* operation.
 
-use mimd_bench::{drive_character, print_table, run_trace, Workloads};
+use mimd_bench::{drive_character, print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
 use mimd_core::models::recommend_latency_shape;
 use mimd_core::{CacheConfig, EngineConfig, Shape};
 use mimd_sim::SimDuration;
 use mimd_workload::Trace;
 
-fn sr_curve(trace: &Trace, locality: f64, disks: &[u32]) -> Vec<(u32, f64)> {
-    let character = drive_character().with_locality(locality);
-    disks
-        .iter()
-        .map(|&d| {
-            let shape = recommend_latency_shape(&character, d, 1.0);
-            (
-                d,
-                run_trace(EngineConfig::new(shape), trace).mean_response_ms(),
-            )
-        })
-        .collect()
+struct Panel {
+    name: &'static str,
+    locality: f64,
+    base_disks: u32,
+    disks: &'static [u32],
+    megabytes: &'static [u64],
+    scale: f64,
 }
 
-fn memory_curve(trace: &Trace, base: Shape, megabytes: &[u64]) -> Vec<(u64, f64)> {
-    megabytes
-        .iter()
-        .map(|&mb| {
-            let cfg = EngineConfig::new(base).with_cache(CacheConfig {
-                bytes: mb << 20,
-                hit_time: SimDuration::from_micros(100),
-            });
-            (mb, run_trace(cfg, trace).mean_response_ms())
-        })
-        .collect()
+fn cache_cfg(base: Shape, mb: u64) -> EngineConfig {
+    EngineConfig::new(base).with_cache(CacheConfig {
+        bytes: mb << 20,
+        hit_time: SimDuration::from_micros(100),
+    })
 }
 
 /// Memory (MB) needed to match a target response, by linear interpolation
@@ -64,94 +53,159 @@ fn memory_to_match(curve: &[(u64, f64)], target_ms: f64) -> Option<f64> {
     None
 }
 
-fn panel(
-    name: &str,
-    trace: &Trace,
-    locality: f64,
-    base_disks: u32,
-    disks: &[u32],
-    megabytes: &[u64],
-    scale: f64,
-) {
-    let t = trace.scaled(scale);
-    let sr = sr_curve(&t, locality, disks);
-    let base_shape =
-        recommend_latency_shape(&drive_character().with_locality(locality), base_disks, 1.0);
-    let mem = memory_curve(&t, base_shape, megabytes);
-
-    let rows: Vec<Vec<String>> = sr
-        .iter()
-        .map(|(d, ms)| vec![format!("{d} disks"), format!("{ms:.2}")])
-        .chain(
-            mem.iter()
-                .map(|(mb, ms)| vec![format!("{base_disks} disks + {mb} MB"), format!("{ms:.2}")]),
-        )
-        .collect();
-    print_table(
-        &format!("Figure 11 — {name} (scale x{scale}): mean response (ms)"),
-        &["configuration", "response"],
-        &rows,
-    );
-
-    // Break-even M (the paper's memory:disk price-per-MB ratio): extra
-    // disks cost `extra * P_disk`; the matching cache costs
-    // `mb * M * (P_disk / disk_MB)`. Equating gives
-    // `M* = extra * disk_MB / mb` — memory is cost-effective when the
-    // market M is below M*. (2000-era market M was ~57.)
-    let disk_mb = 9.1 * 1024.0;
-    for (d, target) in sr.iter().skip(1) {
-        if let Some(mb) = memory_to_match(&mem, *target) {
-            let extra_disks = (d - base_disks) as f64;
-            let break_even = extra_disks * disk_mb / mb.max(1.0);
-            println!(
-                "  matching {d}-disk response ({target:.2} ms) needs ~{mb:.0} MB of cache; \
-                 break-even M = {break_even:.0} (memory cost-effective below it)"
-            );
-        } else {
-            println!(
-                "  no cache size swept matches the {d}-disk response — adding disks wins outright"
-            );
-        }
-    }
-}
-
 fn main() {
     let w = Workloads::generate();
     println!("(paper reference prices: 256 MB memory $300, 18 GB disk $400 -> M = 57)");
-    panel(
-        "Cello base",
-        &w.cello_base,
-        4.14,
-        2,
-        &[2, 4, 6, 8],
-        &[32, 64, 128, 256, 512, 1024],
-        1.0,
-    );
-    panel(
-        "Cello base",
-        &w.cello_base,
-        4.14,
-        2,
-        &[2, 4, 6, 8],
-        &[32, 64, 128, 256, 512, 1024],
-        3.0,
-    );
-    panel(
-        "TPC-C",
-        &w.tpcc,
-        1.04,
-        12,
-        &[12, 18, 24, 36],
-        &[64, 128, 256, 512, 1024, 2048],
-        1.0,
-    );
-    panel(
-        "TPC-C",
-        &w.tpcc,
-        1.04,
-        12,
-        &[12, 18, 24, 36],
-        &[64, 128, 256, 512, 1024, 2048],
-        3.0,
-    );
+    let panels = [
+        Panel {
+            name: "Cello base",
+            locality: 4.14,
+            base_disks: 2,
+            disks: &[2, 4, 6, 8],
+            megabytes: &[32, 64, 128, 256, 512, 1024],
+            scale: 1.0,
+        },
+        Panel {
+            name: "Cello base",
+            locality: 4.14,
+            base_disks: 2,
+            disks: &[2, 4, 6, 8],
+            megabytes: &[32, 64, 128, 256, 512, 1024],
+            scale: 3.0,
+        },
+        Panel {
+            name: "TPC-C",
+            locality: 1.04,
+            base_disks: 12,
+            disks: &[12, 18, 24, 36],
+            megabytes: &[64, 128, 256, 512, 1024, 2048],
+            scale: 1.0,
+        },
+        Panel {
+            name: "TPC-C",
+            locality: 1.04,
+            base_disks: 12,
+            disks: &[12, 18, 24, 36],
+            megabytes: &[64, 128, 256, 512, 1024, 2048],
+            scale: 3.0,
+        },
+    ];
+
+    // One scaled trace per panel, then the disk-scaling curve followed by
+    // the cache-size curve.
+    let scaled: Vec<Trace> = panels
+        .iter()
+        .map(|p| {
+            let base = if p.name == "TPC-C" {
+                &w.tpcc
+            } else {
+                &w.cello_base
+            };
+            base.scaled(p.scale)
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for (p, t) in panels.iter().zip(&scaled) {
+        let character = drive_character().with_locality(p.locality);
+        for &d in p.disks {
+            let shape = recommend_latency_shape(&character, d, 1.0);
+            jobs.push(Job::trace(EngineConfig::new(shape), t));
+        }
+        let base_shape = recommend_latency_shape(&character, p.base_disks, 1.0);
+        for &mb in p.megabytes {
+            jobs.push(Job::trace(cache_cfg(base_shape, mb), t));
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig11_memory");
+    for p in &panels {
+        let character = drive_character().with_locality(p.locality);
+        let sr: Vec<(u32, f64)> = p
+            .disks
+            .iter()
+            .map(|&d| {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from(p.name)),
+                        ("scale", Json::from(p.scale)),
+                        ("axis", Json::from("disks")),
+                        ("disks", Json::from(d)),
+                    ],
+                    &mut r,
+                );
+                (d, mean)
+            })
+            .collect();
+        let base_shape = recommend_latency_shape(&character, p.base_disks, 1.0);
+        let mem: Vec<(u64, f64)> = p
+            .megabytes
+            .iter()
+            .map(|&mb| {
+                let mut r = reports.next().expect("job order");
+                let mean = r.mean_response_ms();
+                log.push(
+                    vec![
+                        ("panel", Json::from(p.name)),
+                        ("scale", Json::from(p.scale)),
+                        ("axis", Json::from("cache")),
+                        ("base_shape", Json::from(base_shape.to_string())),
+                        ("cache_mb", Json::from(mb)),
+                    ],
+                    &mut r,
+                );
+                (mb, mean)
+            })
+            .collect();
+
+        let rows: Vec<Vec<String>> = sr
+            .iter()
+            .map(|(d, ms)| vec![format!("{d} disks"), format!("{ms:.2}")])
+            .chain(mem.iter().map(|(mb, ms)| {
+                vec![
+                    format!("{} disks + {mb} MB", p.base_disks),
+                    format!("{ms:.2}"),
+                ]
+            }))
+            .collect();
+        print_table(
+            &format!(
+                "Figure 11 — {} (scale x{}): mean response (ms)",
+                p.name, p.scale
+            ),
+            &["configuration", "response"],
+            &rows,
+        );
+
+        // Break-even M (the paper's memory:disk price-per-MB ratio): extra
+        // disks cost `extra * P_disk`; the matching cache costs
+        // `mb * M * (P_disk / disk_MB)`. Equating gives
+        // `M* = extra * disk_MB / mb` — memory is cost-effective when the
+        // market M is below M*. (2000-era market M was ~57.)
+        let disk_mb = 9.1 * 1024.0;
+        for (d, target) in sr.iter().skip(1) {
+            if let Some(mb) = memory_to_match(&mem, *target) {
+                let extra_disks = (d - p.base_disks) as f64;
+                let break_even = extra_disks * disk_mb / mb.max(1.0);
+                println!(
+                    "  matching {d}-disk response ({target:.2} ms) needs ~{mb:.0} MB of cache; \
+                     break-even M = {break_even:.0} (memory cost-effective below it)"
+                );
+                log.note(vec![
+                    ("panel", Json::from(p.name)),
+                    ("scale", Json::from(p.scale)),
+                    ("match_disks", Json::from(*d)),
+                    ("cache_mb_needed", Json::from(mb)),
+                    ("break_even_m", Json::from(break_even)),
+                ]);
+            } else {
+                println!(
+                    "  no cache size swept matches the {d}-disk response — adding disks wins outright"
+                );
+            }
+        }
+    }
+    log.write();
 }

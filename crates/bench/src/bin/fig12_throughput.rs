@@ -9,63 +9,97 @@
 //! compensates for missing replicas when it can choose among many
 //! requests.
 
-use mimd_bench::{drive_character_4k, print_table, sizes};
+use mimd_bench::{drive_character_4k, print_table, run_jobs, sizes, ExperimentLog, Job, Json};
 use mimd_core::models::{predict_throughput_iops, recommend_throughput_shape};
-use mimd_core::{ArraySim, EngineConfig, Policy, Shape};
+use mimd_core::{EngineConfig, Policy, Shape};
 use mimd_workload::IometerSpec;
 
 const DATA_SECTORS: u64 = 16_400_000;
 const LOCALITY: f64 = 3.0;
+const DISKS: [u32; 5] = [2, 4, 6, 8, 12];
 
-fn measure(shape: Shape, policy: Policy, outstanding: usize) -> f64 {
+fn job(shape: Shape, policy: Policy, outstanding: usize) -> mimd_bench::Job<'static> {
     let cfg = EngineConfig::new(shape)
         .with_policy(policy)
         .with_perfect_knowledge();
-    let spec = IometerSpec::microbench(DATA_SECTORS, 1.0);
-    let mut sim = ArraySim::new(cfg, DATA_SECTORS).expect("shape fits");
-    sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
-        .throughput_iops()
-}
-
-fn panel(outstanding: usize) {
-    let character = drive_character_4k().with_locality(LOCALITY);
-    let mut rows = Vec::new();
-    for d in [2u32, 4, 6, 8, 12] {
-        let q = outstanding as f64;
-        let sr_shape = recommend_throughput_shape(&character, d, 1.0, q / d as f64);
-        let rsatf = measure(sr_shape, Policy::Rsatf, outstanding);
-        let rlook = measure(sr_shape, Policy::Rlook, outstanding);
-        let stripe = measure(Shape::striping(d), Policy::Satf, outstanding);
-        let raid10 = Shape::raid10(d).map(|s| measure(s, Policy::Satf, outstanding));
-        let model = predict_throughput_iops(&character, sr_shape.ds, sr_shape.dr, 1.0, q);
-        rows.push(vec![
-            d.to_string(),
-            sr_shape.to_string(),
-            format!("{rsatf:.0}"),
-            format!("{rlook:.0}"),
-            format!("{model:.0}"),
-            format!("{stripe:.0}"),
-            raid10
-                .map(|t| format!("{t:.0}"))
-                .unwrap_or_else(|| "-".into()),
-        ]);
-    }
-    print_table(
-        &format!("Figure 12 — random 4 KiB reads, {outstanding} outstanding (IO/s)"),
-        &[
-            "D",
-            "SR cfg",
-            "SR RSATF",
-            "SR RLOOK",
-            "RLOOK model",
-            "stripe SATF",
-            "RAID-10 SATF",
-        ],
-        &rows,
-    );
+    mimd_bench::Job::closed(
+        cfg,
+        IometerSpec::microbench(DATA_SECTORS, 1.0),
+        outstanding,
+        sizes::CLOSED_LOOP_COMPLETIONS,
+    )
 }
 
 fn main() {
-    panel(8);
-    panel(32);
+    let character = drive_character_4k().with_locality(LOCALITY);
+
+    // Both panels' runs in one flat list: (outstanding, D) × four configs.
+    let mut jobs: Vec<Job> = Vec::new();
+    for &outstanding in &[8usize, 32] {
+        for &d in &DISKS {
+            let q = outstanding as f64;
+            let sr_shape = recommend_throughput_shape(&character, d, 1.0, q / d as f64);
+            jobs.push(job(sr_shape, Policy::Rsatf, outstanding));
+            jobs.push(job(sr_shape, Policy::Rlook, outstanding));
+            jobs.push(job(Shape::striping(d), Policy::Satf, outstanding));
+            if let Some(s) = Shape::raid10(d) {
+                jobs.push(job(s, Policy::Satf, outstanding));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig12_throughput");
+    for &outstanding in &[8usize, 32] {
+        let mut rows = Vec::new();
+        for &d in &DISKS {
+            let q = outstanding as f64;
+            let sr_shape = recommend_throughput_shape(&character, d, 1.0, q / d as f64);
+            let mut take = |config: &str, shape: Shape, policy: Policy| {
+                let mut r = reports.next().expect("job order");
+                let iops = r.throughput_iops();
+                log.push(
+                    vec![
+                        ("outstanding", Json::from(outstanding)),
+                        ("d", Json::from(d)),
+                        ("config", Json::from(config)),
+                        ("shape", Json::from(shape.to_string())),
+                        ("policy", Json::from(policy.to_string())),
+                    ],
+                    &mut r,
+                );
+                iops
+            };
+            let rsatf = take("sr_rsatf", sr_shape, Policy::Rsatf);
+            let rlook = take("sr_rlook", sr_shape, Policy::Rlook);
+            let stripe = take("striping", Shape::striping(d), Policy::Satf);
+            let raid10 = Shape::raid10(d).map(|s| take("raid10", s, Policy::Satf));
+            let model = predict_throughput_iops(&character, sr_shape.ds, sr_shape.dr, 1.0, q);
+            rows.push(vec![
+                d.to_string(),
+                sr_shape.to_string(),
+                format!("{rsatf:.0}"),
+                format!("{rlook:.0}"),
+                format!("{model:.0}"),
+                format!("{stripe:.0}"),
+                raid10
+                    .map(|t| format!("{t:.0}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        print_table(
+            &format!("Figure 12 — random 4 KiB reads, {outstanding} outstanding (IO/s)"),
+            &[
+                "D",
+                "SR cfg",
+                "SR RSATF",
+                "SR RLOOK",
+                "RLOOK model",
+                "stripe SATF",
+                "RAID-10 SATF",
+            ],
+            &rows,
+        );
+    }
+    log.write();
 }

@@ -11,22 +11,24 @@
 //! extra seek span), and sits further left under SATF/RSATF and longer
 //! queues.
 
-use mimd_bench::{drive_character_4k, print_table, sizes};
+use mimd_bench::{drive_character_4k, print_table, run_jobs, sizes, ExperimentLog, Job, Json};
 use mimd_core::models::predict_throughput_iops;
-use mimd_core::{ArraySim, EngineConfig, Policy, Shape, WriteMode};
+use mimd_core::{EngineConfig, Policy, Shape, WriteMode};
 use mimd_workload::IometerSpec;
 
 const DATA_SECTORS: u64 = 16_400_000;
 
-fn measure(shape: Shape, policy: Policy, outstanding: usize, write_frac: f64) -> f64 {
+fn job(shape: Shape, policy: Policy, outstanding: usize, write_frac: f64) -> Job<'static> {
     let cfg = EngineConfig::new(shape)
         .with_policy(policy)
         .with_write_mode(WriteMode::Foreground)
         .with_perfect_knowledge();
-    let spec = IometerSpec::microbench(DATA_SECTORS, 1.0 - write_frac);
-    let mut sim = ArraySim::new(cfg, DATA_SECTORS).expect("shape fits");
-    sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS)
-        .throughput_iops()
+    Job::closed(
+        cfg,
+        IometerSpec::microbench(DATA_SECTORS, 1.0 - write_frac),
+        outstanding,
+        sizes::CLOSED_LOOP_COMPLETIONS,
+    )
 }
 
 fn crossover(series_a: &[(f64, f64)], series_b: &[(f64, f64)]) -> Option<f64> {
@@ -41,78 +43,111 @@ fn crossover(series_a: &[(f64, f64)], series_b: &[(f64, f64)]) -> Option<f64> {
     None
 }
 
-fn panel(outstanding: usize) {
+fn main() {
     let sr = Shape::sr_array(3, 2).unwrap();
     let stripe = Shape::striping(6);
     let raid10 = Shape::raid10(6).unwrap();
     let character = drive_character_4k().with_locality(3.0);
+    let configs = [
+        ("sr_rsatf", sr, Policy::Rsatf),
+        ("sr_rlook", sr, Policy::Rlook),
+        ("stripe_satf", stripe, Policy::Satf),
+        ("stripe_look", stripe, Policy::Look),
+        ("raid10_satf", raid10, Policy::Satf),
+    ];
 
-    let mut rows = Vec::new();
-    let mut sr_rsatf_series = Vec::new();
-    let mut stripe_satf_series = Vec::new();
-    let mut sr_rlook_series = Vec::new();
-    let mut stripe_look_series = Vec::new();
-    for pct in (0..=100).step_by(10) {
-        let wf = pct as f64 / 100.0;
-        let p = 1.0 - wf;
-        let sr_rsatf = measure(sr, Policy::Rsatf, outstanding, wf);
-        let sr_rlook = measure(sr, Policy::Rlook, outstanding, wf);
-        let st_satf = measure(stripe, Policy::Satf, outstanding, wf);
-        let st_look = measure(stripe, Policy::Look, outstanding, wf);
-        let r10 = measure(raid10, Policy::Satf, outstanding, wf);
-        let model = if p > 0.5 {
-            predict_throughput_iops(&character, sr.ds, sr.dr, p, outstanding as f64)
-        } else {
-            f64::NAN
-        };
-        sr_rsatf_series.push((wf, sr_rsatf));
-        stripe_satf_series.push((wf, st_satf));
-        sr_rlook_series.push((wf, sr_rlook));
-        stripe_look_series.push((wf, st_look));
-        rows.push(vec![
-            format!("{pct}%"),
-            format!("{sr_rsatf:.0}"),
-            format!("{sr_rlook:.0}"),
-            if model.is_nan() {
-                "-".into()
+    let mut jobs = Vec::new();
+    for &outstanding in &[8usize, 32] {
+        for pct in (0..=100).step_by(10) {
+            let wf = pct as f64 / 100.0;
+            for (_, shape, policy) in &configs {
+                jobs.push(job(*shape, *policy, outstanding, wf));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("fig13_writes");
+    for &outstanding in &[8usize, 32] {
+        let mut rows = Vec::new();
+        let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); configs.len()];
+        for pct in (0..=100).step_by(10) {
+            let wf = pct as f64 / 100.0;
+            let p = 1.0 - wf;
+            let mut iops = [0.0f64; 5];
+            for (ci, (label, shape, policy)) in configs.iter().enumerate() {
+                let mut r = reports.next().expect("job order");
+                iops[ci] = r.throughput_iops();
+                series[ci].push((wf, iops[ci]));
+                log.push(
+                    vec![
+                        ("outstanding", Json::from(outstanding)),
+                        ("write_pct", Json::from(pct as u64)),
+                        ("config", Json::from(*label)),
+                        ("shape", Json::from(shape.to_string())),
+                        ("policy", Json::from(policy.to_string())),
+                    ],
+                    &mut r,
+                );
+            }
+            let model = if p > 0.5 {
+                predict_throughput_iops(&character, sr.ds, sr.dr, p, outstanding as f64)
             } else {
-                format!("{model:.0}")
-            },
-            format!("{st_satf:.0}"),
-            format!("{st_look:.0}"),
-            format!("{r10:.0}"),
-        ]);
+                f64::NAN
+            };
+            rows.push(vec![
+                format!("{pct}%"),
+                format!("{:.0}", iops[0]),
+                format!("{:.0}", iops[1]),
+                if model.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{model:.0}")
+                },
+                format!("{:.0}", iops[2]),
+                format!("{:.0}", iops[3]),
+                format!("{:.0}", iops[4]),
+            ]);
+        }
+        print_table(
+            &format!("Figure 13 — foreground writes, {outstanding} outstanding (IO/s)"),
+            &[
+                "write%",
+                "3x2x1 RSATF",
+                "3x2x1 RLOOK",
+                "model",
+                "6x1x1 SATF",
+                "6x1x1 LOOK",
+                "3x1x2 SATF",
+            ],
+            &rows,
+        );
+        match crossover(&series[0], &series[2]) {
+            Some(x) => {
+                println!(
+                    "  RSATF/SATF cross-over at {:.0}% writes (paper: left of 50%)",
+                    x * 100.0
+                );
+                log.note(vec![
+                    ("outstanding", Json::from(outstanding)),
+                    ("rsatf_satf_crossover_write_frac", Json::from(x)),
+                ]);
+            }
+            None => println!("  RSATF/SATF: no cross-over in range"),
+        }
+        match crossover(&series[1], &series[3]) {
+            Some(x) => {
+                println!(
+                    "  RLOOK/LOOK cross-over at {:.0}% writes (paper: near but below 50%)",
+                    x * 100.0
+                );
+                log.note(vec![
+                    ("outstanding", Json::from(outstanding)),
+                    ("rlook_look_crossover_write_frac", Json::from(x)),
+                ]);
+            }
+            None => println!("  RLOOK/LOOK: no cross-over in range"),
+        }
     }
-    print_table(
-        &format!("Figure 13 — foreground writes, {outstanding} outstanding (IO/s)"),
-        &[
-            "write%",
-            "3x2x1 RSATF",
-            "3x2x1 RLOOK",
-            "model",
-            "6x1x1 SATF",
-            "6x1x1 LOOK",
-            "3x1x2 SATF",
-        ],
-        &rows,
-    );
-    match crossover(&sr_rsatf_series, &stripe_satf_series) {
-        Some(x) => println!(
-            "  RSATF/SATF cross-over at {:.0}% writes (paper: left of 50%)",
-            x * 100.0
-        ),
-        None => println!("  RSATF/SATF: no cross-over in range"),
-    }
-    match crossover(&sr_rlook_series, &stripe_look_series) {
-        Some(x) => println!(
-            "  RLOOK/LOOK cross-over at {:.0}% writes (paper: near but below 50%)",
-            x * 100.0
-        ),
-        None => println!("  RLOOK/LOOK: no cross-over in range"),
-    }
-}
-
-fn main() {
-    panel(8);
-    panel(32);
+    log.write();
 }

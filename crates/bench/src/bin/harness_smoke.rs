@@ -1,0 +1,110 @@
+//! Harness smoke test and thread-scaling demonstration.
+//!
+//! Runs one small but real experiment grid serially and at several worker
+//! counts, asserts the emitted JSON is **byte-identical** at every count
+//! (the harness's core guarantee), and records the wall-clock times. The
+//! numbers are honest for whatever machine runs this: on a single-core
+//! container the parallel runs show overhead, not speedup, and the record
+//! says how many cores were available.
+//!
+//! Exits non-zero if any thread count produces different bytes, so CI can
+//! use it as the determinism gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mimd_bench::Json;
+use mimd_core::{Policy, Shape};
+use mimd_harness::{write_json, GridSpec, Workload};
+use mimd_workload::{IometerSpec, SyntheticSpec};
+
+fn grid() -> GridSpec {
+    let trace = Arc::new(SyntheticSpec::cello_base().generate(7, 2_000));
+    let data = 4 * 1024 * 1024;
+    GridSpec {
+        name: "harness_smoke".into(),
+        shapes: vec![
+            Shape::striping(2),
+            Shape::sr_array(2, 2).unwrap(),
+            Shape::sr_array(2, 3).unwrap(),
+        ],
+        policies: vec![None, Some(Policy::Look)],
+        workloads: vec![
+            ("cello-2k".into(), Workload::Trace(trace)),
+            (
+                "rand-read".into(),
+                Workload::Closed {
+                    spec: IometerSpec::random_read_512(data),
+                    data_sectors: data,
+                    outstanding: 8,
+                    completions: 500,
+                },
+            ),
+        ],
+        seeds: vec![42],
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cells = grid().cells().len();
+    println!("harness smoke: {cells} cells, {cores} core(s) available");
+
+    let t0 = Instant::now();
+    let serial = grid().run_with(1, |c| c).to_json().to_json();
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!("  threads= 1  {serial_s:>7.3}s  (reference)");
+
+    let mut runs = vec![Json::object([
+        ("threads", Json::from(1u64)),
+        ("wall_s", Json::from(serial_s)),
+        ("identical", Json::from(true)),
+    ])];
+    let mut ok = true;
+    for threads in [2usize, 4, 8] {
+        let t = Instant::now();
+        let parallel = grid().run_with(threads, |c| c).to_json().to_json();
+        let wall = t.elapsed().as_secs_f64();
+        let identical = parallel == serial;
+        ok &= identical;
+        println!(
+            "  threads={threads:>2}  {wall:>7.3}s  speedup {:.2}x  bytes {}",
+            serial_s / wall,
+            if identical { "identical" } else { "DIFFER" }
+        );
+        runs.push(Json::object([
+            ("threads", Json::from(threads)),
+            ("wall_s", Json::from(wall)),
+            ("speedup", Json::from(serial_s / wall)),
+            ("identical", Json::from(identical)),
+        ]));
+    }
+
+    let doc = Json::object([
+        ("experiment", Json::from("harness_scaling")),
+        ("cells", Json::from(cells)),
+        ("available_cores", Json::from(cores)),
+        ("serial_bytes", Json::from(serial.len() as u64)),
+        ("runs", Json::Arr(runs)),
+        (
+            "note",
+            Json::from(
+                "speedup is bounded by available_cores; on a 1-core host \
+                 parallel runs measure pool overhead only",
+            ),
+        ),
+    ]);
+    match write_json("BENCH_harness_scaling", &doc) {
+        Ok(p) => println!("\n[json] {}", p.display()),
+        Err(e) => eprintln!("\n[json] write failed: {e}"),
+    }
+
+    if ok {
+        println!("determinism: all thread counts byte-identical to serial");
+    } else {
+        eprintln!("determinism VIOLATION: parallel bytes differ from serial");
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,8 @@
 //! paper: "the performance of our best effort implementation of a striped
 //! mirror has failed to match that of an SR-Array counterpart."
 
-use mimd_bench::{print_table, sizes};
-use mimd_core::{ArraySim, EngineConfig, Shape, WriteMode};
+use mimd_bench::{print_table, run_jobs, sizes, ExperimentLog, Job, Json};
+use mimd_core::{EngineConfig, Shape, WriteMode};
 use mimd_workload::IometerSpec;
 
 const DATA: u64 = 8_000_000;
@@ -22,16 +22,18 @@ struct Variant {
     sync: bool,
 }
 
-fn run(v: &Variant, read_frac: f64, outstanding: usize) -> (f64, f64) {
+fn job(v: &Variant, read_frac: f64, outstanding: usize) -> Job<'static> {
     let mut cfg = EngineConfig::new(v.shape)
         .with_perfect_knowledge()
         .with_write_mode(WriteMode::Foreground);
     cfg.mirror_stagger = v.stagger;
     cfg.sync_spindles = v.sync;
-    let spec = IometerSpec::microbench(DATA, read_frac);
-    let mut sim = ArraySim::new(cfg, DATA).expect("fits");
-    let r = sim.run_closed_loop(&spec, outstanding, sizes::CLOSED_LOOP_COMPLETIONS);
-    (r.mean_response_ms(), r.throughput_iops())
+    Job::closed(
+        cfg,
+        IometerSpec::microbench(DATA, read_frac),
+        outstanding,
+        sizes::CLOSED_LOOP_COMPLETIONS,
+    )
 }
 
 fn main() {
@@ -55,18 +57,40 @@ fn main() {
             sync: false,
         },
     ];
+    let sections = [("pure reads", 1.0), ("30% writes (foreground)", 0.7)];
+    const OUTSTANDING: [usize; 3] = [2, 8, 32];
 
-    for (title, read_frac) in [("pure reads", 1.0), ("30% writes (foreground)", 0.7)] {
+    let mut jobs = Vec::new();
+    for (_, read_frac) in &sections {
+        for v in &variants {
+            for &q in &OUTSTANDING {
+                jobs.push(job(v, *read_frac, q));
+            }
+        }
+    }
+    let mut reports = run_jobs(jobs).into_iter();
+
+    let mut log = ExperimentLog::new("sec25_striped_mirror");
+    for (title, read_frac) in &sections {
         let mut rows = Vec::new();
         for v in &variants {
-            for outstanding in [2usize, 8, 32] {
-                let (resp, iops) = run(v, read_frac, outstanding);
+            for &q in &OUTSTANDING {
+                let mut r = reports.next().expect("job order");
                 rows.push(vec![
                     v.label.to_string(),
-                    outstanding.to_string(),
-                    format!("{resp:.2}"),
-                    format!("{iops:.0}"),
+                    q.to_string(),
+                    format!("{:.2}", r.mean_response_ms()),
+                    format!("{:.0}", r.throughput_iops()),
                 ]);
+                log.push(
+                    vec![
+                        ("section", Json::from(*title)),
+                        ("variant", Json::from(v.label)),
+                        ("read_frac", Json::from(*read_frac)),
+                        ("outstanding", Json::from(q)),
+                    ],
+                    &mut r,
+                );
             }
         }
         print_table(
@@ -78,4 +102,5 @@ fn main() {
     println!("\nExpected: the striped mirror's read latency is competitive (slightly");
     println!("better at shallow queues), but it falls behind on throughput and");
     println!("under writes, where each copy costs a second arm movement.");
+    log.write();
 }

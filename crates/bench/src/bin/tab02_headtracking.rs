@@ -12,13 +12,13 @@
 //!    miss rate, prediction error, average access time, and the demerit
 //!    figure versus measured access times.
 
-use mimd_bench::{print_table, Workloads};
-use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_bench::{print_table, run_jobs, ExperimentLog, Job, Json, Workloads};
+use mimd_core::{EngineConfig, Shape};
 use mimd_disk::calibration::{CalibrationSchedule, DriftingSpindle, HeadTracker, ObservationNoise};
 use mimd_disk::DiskParams;
 use mimd_sim::{OnlineStats, SimDuration, SimRng, SimTime};
 
-fn mechanism_accuracy() {
+fn mechanism_accuracy(log: &mut ExperimentLog) {
     let nominal = DiskParams::st39133lwv().rotation_time();
     let mut spindle = DriftingSpindle::default_for(nominal, 11);
     let noise = ObservationNoise::default();
@@ -61,21 +61,27 @@ fn mechanism_accuracy() {
         }
         now = pass + interval;
     }
+    let within_pct = within_1pct as f64 / samples as f64 * 100.0;
     println!("\n== Head-tracking mechanism (steady state, 2-minute recalibration) ==");
     println!("  prediction samples        {samples}");
     println!("  mean |error|              {:.1} us", err_us.mean());
     println!("  max  |error|              {:.1} us", err_us.max());
-    println!(
-        "  within 1% of a rotation   {:.1}%   (paper: 98% confidence at 1% error)",
-        within_1pct as f64 / samples as f64 * 100.0
-    );
+    println!("  within 1% of a rotation   {within_pct:.1}%   (paper: 98% confidence at 1% error)");
+    log.note(vec![
+        ("view", Json::from("mechanism")),
+        ("samples", Json::from(samples)),
+        ("mean_abs_error_us", Json::from(err_us.mean())),
+        ("max_abs_error_us", Json::from(err_us.max())),
+        ("within_1pct_rotation_pct", Json::from(within_pct)),
+    ]);
 }
 
-fn system_table() {
+fn system_table(log: &mut ExperimentLog) {
     let w = Workloads::generate();
     let cfg = EngineConfig::new(Shape::sr_array(2, 3).unwrap()); // Tracked knowledge default.
-    let mut sim = ArraySim::new(cfg, w.cello_base.data_sectors).expect("2x3 fits");
-    let mut r = sim.run_trace(&w.cello_base);
+    let mut r = run_jobs(vec![Job::trace(cfg, &w.cello_base)])
+        .pop()
+        .expect("one job");
     let demerit = r.prediction.demerit_us();
     let avg = r.prediction.avg_access_us();
     let rows = vec![
@@ -111,9 +117,19 @@ fn system_table() {
         &["metric", "measured", "paper"],
         &rows,
     );
+    log.push(
+        vec![
+            ("view", Json::from("system")),
+            ("demerit_us", Json::from(demerit)),
+            ("avg_access_us", Json::from(avg)),
+        ],
+        &mut r,
+    );
 }
 
 fn main() {
-    mechanism_accuracy();
-    system_table();
+    let mut log = ExperimentLog::new("tab02_headtracking");
+    mechanism_accuracy(&mut log);
+    system_table(&mut log);
+    log.write();
 }

@@ -5,7 +5,7 @@
 //! generated traces and prints it against the paper's values, which is the
 //! fidelity check for the substitution (see DESIGN.md).
 
-use mimd_bench::{print_table, Workloads};
+use mimd_bench::{print_table, ExperimentLog, Json, Workloads};
 use mimd_workload::TraceStats;
 
 fn row(label: &str, s: &TraceStats) -> Vec<String> {
@@ -21,10 +21,30 @@ fn row(label: &str, s: &TraceStats) -> Vec<String> {
     ]
 }
 
+fn stats_row(log: &mut ExperimentLog, label: &str, s: &TraceStats) {
+    log.note(vec![
+        ("workload", Json::from(label)),
+        ("gb", Json::from(s.data_sectors as f64 * 512.0 / 1e9)),
+        ("ios", Json::from(s.ios)),
+        ("avg_rate", Json::from(s.avg_rate)),
+        ("read_frac", Json::from(s.read_frac)),
+        ("async_write_frac", Json::from(s.async_write_frac)),
+        ("seek_locality", Json::from(s.seek_locality)),
+        ("read_after_write_1h", Json::from(s.read_after_write_1h)),
+    ]);
+}
+
 fn main() {
     let w = Workloads::generate();
+    let mut log = ExperimentLog::new("tab03_traces");
+    let cello_base = TraceStats::of(&w.cello_base);
+    let cello_disk6 = TraceStats::of(&w.cello_disk6);
+    let tpcc = TraceStats::of(&w.tpcc);
+    stats_row(&mut log, "Cello base", &cello_base);
+    stats_row(&mut log, "Cello disk 6", &cello_disk6);
+    stats_row(&mut log, "TPC-C", &tpcc);
     let rows = vec![
-        row("Cello base", &TraceStats::of(&w.cello_base)),
+        row("Cello base", &cello_base),
         vec![
             "  (paper)".into(),
             "8.4".into(),
@@ -35,7 +55,7 @@ fn main() {
             "4.14".into(),
             "4.15%".into(),
         ],
-        row("Cello disk 6", &TraceStats::of(&w.cello_disk6)),
+        row("Cello disk 6", &cello_disk6),
         vec![
             "  (paper)".into(),
             "1.3".into(),
@@ -46,7 +66,7 @@ fn main() {
             "16.67".into(),
             "3.8%".into(),
         ],
-        row("TPC-C", &TraceStats::of(&w.tpcc)),
+        row("TPC-C", &tpcc),
         vec![
             "  (paper)".into(),
             "9.0".into(),
@@ -67,4 +87,5 @@ fn main() {
     );
     println!("\nNote: I/O counts differ by design — experiments replay a");
     println!("20k-request window; rates and mix match the full traces.");
+    log.write();
 }

@@ -8,7 +8,9 @@
 use mimd_core::models::DiskCharacter;
 use mimd_core::{ArraySim, EngineConfig, RunReport, Shape};
 use mimd_disk::DiskParams;
-use mimd_workload::{SyntheticSpec, Trace};
+use mimd_workload::{IometerSpec, SyntheticSpec, Trace};
+
+pub use mimd_harness::Json;
 
 /// Canonical request counts, sized so every binary finishes in seconds
 /// while staying deep in steady state.
@@ -61,6 +63,129 @@ pub fn run_trace(cfg: EngineConfig, trace: &Trace) -> RunReport {
     let mut sim =
         ArraySim::new(cfg, trace.data_sectors).expect("experiment shape must fit the data set");
     sim.run_trace(trace)
+}
+
+/// One simulation a reproduction binary wants run: a fully-formed config
+/// plus its workload. Binaries enumerate every job of an experiment up
+/// front, fan them out with [`run_jobs`], and consume the reports in the
+/// same order — so the printed tables are identical to a serial run.
+pub enum Job<'a> {
+    /// Open-loop replay of a trace.
+    Trace {
+        /// Engine configuration for this run.
+        cfg: EngineConfig,
+        /// The trace to replay (shared, not cloned per job).
+        trace: &'a Trace,
+    },
+    /// Iometer-style closed loop.
+    Closed {
+        /// Engine configuration for this run.
+        cfg: EngineConfig,
+        /// Request generator; its `data_sectors` sizes the layout.
+        spec: IometerSpec,
+        /// Requests kept in flight.
+        outstanding: usize,
+        /// Completions to measure.
+        completions: u64,
+    },
+}
+
+impl<'a> Job<'a> {
+    /// An open-loop trace-replay job.
+    pub fn trace(cfg: EngineConfig, trace: &'a Trace) -> Job<'a> {
+        Job::Trace { cfg, trace }
+    }
+
+    /// A closed-loop job; the layout is sized from `spec.data_sectors`.
+    pub fn closed(
+        cfg: EngineConfig,
+        spec: IometerSpec,
+        outstanding: usize,
+        completions: u64,
+    ) -> Job<'a> {
+        Job::Closed {
+            cfg,
+            spec,
+            outstanding,
+            completions,
+        }
+    }
+
+    fn run(&self) -> RunReport {
+        match self {
+            Job::Trace { cfg, trace } => run_trace(cfg.clone(), trace),
+            Job::Closed {
+                cfg,
+                spec,
+                outstanding,
+                completions,
+            } => {
+                let mut sim = ArraySim::new(cfg.clone(), spec.data_sectors)
+                    .expect("experiment shape must fit the data set");
+                sim.run_closed_loop(spec, *outstanding, *completions)
+            }
+        }
+    }
+}
+
+/// Runs every job across the harness thread pool (`MIMD_THREADS` workers,
+/// defaulting to the machine's parallelism) and returns the reports in job
+/// order. Each job runs one single-threaded simulator; results are merged
+/// back in order, so output does not depend on the worker count.
+pub fn run_jobs(jobs: Vec<Job<'_>>) -> Vec<RunReport> {
+    mimd_harness::parallel_map(jobs, Job::run)
+}
+
+/// Accumulates one experiment's machine-readable record and writes it to
+/// `MIMD_JSON_DIR` (default `target/experiments/`) as `<name>.json`.
+///
+/// Rows pair the experiment's own labels (the table's axes) with the full
+/// [`report_json`](mimd_harness::report_json) metrics of one run, so a
+/// plot or regression check can consume any figure without parsing tables.
+pub struct ExperimentLog {
+    name: String,
+    rows: Vec<Json>,
+}
+
+impl ExperimentLog {
+    /// Starts an empty log named after the experiment (the JSON file stem).
+    pub fn new(name: &str) -> ExperimentLog {
+        ExperimentLog {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one measured row: axis labels plus the run's metrics.
+    pub fn push(&mut self, labels: Vec<(&str, Json)>, report: &mut RunReport) {
+        let mut row = Json::object([] as [(&str, Json); 0]);
+        for (k, v) in labels {
+            row.push_field(k, v);
+        }
+        row.push_field("metrics", mimd_harness::report_json(report));
+        self.rows.push(row);
+    }
+
+    /// Appends a label-only row (derived statistics, model values, ...).
+    pub fn note(&mut self, labels: Vec<(&str, Json)>) {
+        let mut row = Json::object([] as [(&str, Json); 0]);
+        for (k, v) in labels {
+            row.push_field(k, v);
+        }
+        self.rows.push(row);
+    }
+
+    /// Writes `<name>.json` and prints where it landed.
+    pub fn write(self) {
+        let doc = Json::object([
+            ("experiment", Json::from(self.name.as_str())),
+            ("rows", Json::Arr(self.rows)),
+        ]);
+        match mimd_harness::write_json(&self.name, &doc) {
+            Ok(path) => println!("\n[json] {}", path.display()),
+            Err(e) => eprintln!("failed to write {}.json: {e}", self.name),
+        }
+    }
 }
 
 /// Pretty-prints one experiment table: a header and aligned rows.

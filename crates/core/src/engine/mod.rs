@@ -25,7 +25,7 @@ pub mod report;
 use std::collections::{BTreeMap, BTreeSet};
 
 use mimd_disk::DiskParams;
-use mimd_disk::{Geometry, PositionKnowledge, SimDisk, Target, TimingPath};
+use mimd_disk::{Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath};
 use mimd_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mimd_workload::{IometerSpec, Op, Trace};
 
@@ -291,6 +291,8 @@ pub struct ArraySim {
     last_completion: SimTime,
     dead: Vec<bool>,
     pending_failures: Vec<(SimTime, usize)>,
+    /// Reusable buffer for the multi-replica write chain in dispatch.
+    write_scratch: Vec<Target>,
 }
 
 impl ArraySim {
@@ -307,15 +309,20 @@ impl ArraySim {
         .with_placement(cfg.replica_placement);
         let n = layout.disks();
         let mut rng = SimRng::seed_from(cfg.seed);
+        // Calibrate the drive model once — the seek fit is a numeric
+        // bisection costing ~1 ms — and stamp out per-disk copies. The
+        // profile's lookup tables are Arc-shared across all spindles.
+        let seek = SeekProfile::fit(&cfg.disk_params).map_err(LayoutError::InvalidDiskParams)?;
         let mut disks = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut d = SimDisk::new(
-                cfg.disk_params.clone(),
+            let mut d = SimDisk::with_parts(
+                &cfg.disk_params,
+                geometry.clone(),
+                seek.clone(),
                 cfg.timing,
                 cfg.knowledge,
                 rng.fork().below(u64::MAX),
-            )
-            .map_err(LayoutError::InvalidDiskParams)?;
+            );
             if !cfg.sync_spindles {
                 d.set_phase_offset(rng.unit());
             }
@@ -332,11 +339,13 @@ impl ArraySim {
             cfg,
             layout,
             disks,
-            fg: (0..n).map(|_| Vec::new()).collect(),
-            delayed: (0..n).map(|_| Vec::new()).collect(),
+            // One in-flight op plus a scheduling window per disk is the
+            // steady-state shape; pre-size so dispatch never reallocates.
+            fg: (0..n).map(|_| Vec::with_capacity(SCHED_WINDOW)).collect(),
+            delayed: (0..n).map(|_| Vec::with_capacity(SCHED_WINDOW)).collect(),
             look: vec![LookState::default(); n],
             inflight: (0..n).map(|_| None).collect(),
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(2 * n + 64),
             logicals: BTreeMap::new(),
             next_logical: 0,
             dup_started: BTreeSet::new(),
@@ -350,6 +359,7 @@ impl ArraySim {
             last_completion: SimTime::ZERO,
             dead: vec![false; n],
             pending_failures: Vec::new(),
+            write_scratch: Vec::new(),
         })
     }
 
@@ -867,14 +877,17 @@ impl ArraySim {
 
         if task.kind == TaskKind::WriteAll && task.targets.len() > 1 {
             // Walk the remaining rotational replicas greedily: at each step
-            // write the replica reachable soonest (§3.4).
-            let mut rest: Vec<Target> = task
-                .targets
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != p.candidate)
-                .map(|(_, t)| *t)
-                .collect();
+            // write the replica reachable soonest (§3.4). The scratch
+            // buffer lives on the sim so a chained write allocates nothing.
+            let mut rest = std::mem::take(&mut self.write_scratch);
+            rest.clear();
+            rest.extend(
+                task.targets
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != p.candidate)
+                    .map(|(_, t)| *t),
+            );
             while let Some((i, _)) = rest.iter().enumerate().min_by_key(|(_, t)| {
                 self.disks[disk]
                     .estimate_chained(end, t, true)
@@ -885,6 +898,7 @@ impl ArraySim {
                 end += b.total();
                 rest.swap_remove(i);
             }
+            self.write_scratch = rest;
         }
 
         self.report.phys_requests += 1;

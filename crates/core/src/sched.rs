@@ -15,6 +15,9 @@
 //! the head-position-prediction machinery of §3.2 (its residual error is
 //! injected at service time, not here).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use mimd_disk::{SimDisk, Target};
 use mimd_sim::{SimDuration, SimTime};
 
@@ -73,11 +76,15 @@ pub trait Schedulable {
     fn enqueued(&self) -> SimTime;
 }
 
-/// Per-disk elevator state.
-#[derive(Debug, Clone, Copy, Default)]
+/// Per-disk scheduler state: the elevator sweep direction plus a scratch
+/// buffer the SATF scan reuses across calls (no steady-state allocation).
+#[derive(Debug, Clone, Default)]
 pub struct LookState {
     /// Whether the sweep currently moves toward higher cylinders.
     pub upward: bool,
+    /// Reusable backing store for the SATF/RSATF bound-ordered scan:
+    /// `(seek lower bound, queue index, candidate index)` min-heap entries.
+    scan: Vec<Reverse<(u64, u32, u32)>>,
 }
 
 /// The scheduling decision: queue index and candidate (replica) index.
@@ -106,7 +113,7 @@ pub struct Pick {
 ///     fn enqueued(&self) -> SimTime { SimTime::ZERO }
 /// }
 ///
-/// let disk = SimDisk::new(DiskParams::st39133lwv(), TimingPath::Analytic,
+/// let disk = SimDisk::new(&DiskParams::st39133lwv(), TimingPath::Analytic,
 ///                         PositionKnowledge::Perfect, 0).unwrap();
 /// let q = vec![Entry(vec![Target { cylinder: 9, surface: 0, angle: 0.1, sectors: 8 }])];
 /// let mut look = LookState::default();
@@ -138,23 +145,60 @@ pub fn pick<S: Schedulable>(
         }
         Policy::Satf | Policy::Rsatf => {
             let aware = policy.replica_aware();
-            let mut best: Option<(Pick, u64)> = None;
+            // The seek alone lower-bounds a candidate's cost, so candidates
+            // are visited in ascending-bound order (a min-heap over the
+            // reusable scratch buffer): the first full estimates come from
+            // the most promising candidates, and the whole scan stops as
+            // soon as the next bound exceeds the incumbent's cost — no
+            // later candidate can beat it. Winner selection compares
+            // (cost, queue index, candidate index) lexicographically, which
+            // is exactly the first-minimal-in-queue-order rule of a linear
+            // scan, so the pick is identical to the exhaustive one.
+            let scratch = &mut look.scan;
+            scratch.clear();
             for (i, entry) in queue.iter().enumerate() {
                 let limit = if aware { entry.candidates().len() } else { 1 };
+                let write = entry.is_write();
                 for (c, target) in entry.candidates().iter().take(limit).enumerate() {
-                    let cost = candidate_cost(disk, now, target, entry.is_write(), slack);
-                    if best.map(|(_, b)| cost < b).unwrap_or(true) {
-                        best = Some((
-                            Pick {
-                                queue_index: i,
-                                candidate: c,
-                            },
-                            cost,
-                        ));
-                    }
+                    scratch.push(Reverse((
+                        disk.positioning_lower_bound_ns(target, write),
+                        i as u32,
+                        c as u32,
+                    )));
                 }
             }
-            best.map(|(p, _)| p)
+            let mut heap = BinaryHeap::from(std::mem::take(scratch));
+            let mut best: Option<(u64, u32, u32)> = None;
+            while let Some(Reverse((bound, i, c))) = heap.pop() {
+                if let Some((bcost, bi, bc)) = best {
+                    if bound > bcost {
+                        break; // Every remaining bound is at least this one.
+                    }
+                    // bound == bcost can at most tie; only an earlier queue
+                    // position would displace the incumbent.
+                    if bound == bcost && (i, c) >= (bi, bc) {
+                        continue;
+                    }
+                }
+                let entry = &queue[i as usize];
+                let target = &entry.candidates()[c as usize];
+                let cost = candidate_cost(disk, now, target, entry.is_write(), slack);
+                let wins = match best {
+                    None => true,
+                    Some((bcost, bi, bc)) => cost < bcost || (cost == bcost && (i, c) < (bi, bc)),
+                };
+                if wins {
+                    best = Some((cost, i, c));
+                }
+            }
+            // Hand the allocation back for the next call (contents are
+            // stale; only the capacity matters).
+            *scratch = heap.into_vec();
+            scratch.clear();
+            best.map(|(_, i, c)| Pick {
+                queue_index: i as usize,
+                candidate: c as usize,
+            })
         }
         Policy::Look | Policy::Rlook => {
             let head = disk.arm_cylinder();
@@ -201,16 +245,17 @@ fn candidate_cost(
     write: bool,
     slack: SimDuration,
 ) -> u64 {
-    let est = disk.estimate(now, target, write);
-    let mut cost = est.positioning().as_nanos();
-    if est.rotation < slack {
-        cost += disk.rotation_time().as_nanos();
+    let (positioning_ns, rotation_ns) = disk.sched_cost_ns(now, target, write);
+    let mut cost = positioning_ns;
+    if rotation_ns < slack.as_nanos() {
+        cost += disk.rotation_ns();
     }
     cost
 }
 
 /// Picks the cheapest replica of one entry (or the primary when the policy
-/// is not replica-aware).
+/// is not replica-aware). First-minimal tie-break, with the same
+/// seek-lower-bound pruning as the SATF scan.
 fn best_candidate<S: Schedulable>(
     disk: &SimDisk,
     now: SimTime,
@@ -221,13 +266,20 @@ fn best_candidate<S: Schedulable>(
     if !aware || entry.candidates().len() == 1 {
         return 0;
     }
-    entry
-        .candidates()
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, t)| candidate_cost(disk, now, t, entry.is_write(), slack))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    let write = entry.is_write();
+    let mut best: Option<(usize, u64)> = None;
+    for (i, t) in entry.candidates().iter().enumerate() {
+        if let Some((_, b)) = best {
+            if disk.positioning_lower_bound_ns(t, write) >= b {
+                continue;
+            }
+        }
+        let cost = candidate_cost(disk, now, t, write, slack);
+        if best.map(|(_, b)| cost < b).unwrap_or(true) {
+            best = Some((i, cost));
+        }
+    }
+    best.map(|(i, _)| i).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -255,7 +307,7 @@ mod tests {
 
     fn disk() -> SimDisk {
         SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             TimingPath::Analytic,
             PositionKnowledge::Perfect,
             1,
@@ -425,7 +477,10 @@ mod tests {
             entry_at(3500, 0.0, 1),
             entry_at(5000, 0.0, 2),
         ];
-        let mut look = LookState { upward: true };
+        let mut look = LookState {
+            upward: true,
+            ..LookState::default()
+        };
         // Upward: nearest above 3000 is 3500.
         let p = pick(Policy::Look, &d, now, &q, &mut look, SimDuration::ZERO).unwrap();
         assert_eq!(p.queue_index, 1);
@@ -441,7 +496,10 @@ mod tests {
     fn rlook_chooses_rotationally_closest_replica_on_scan() {
         let d = disk();
         let q = vec![entry_with_replicas(0, 6)];
-        let mut look = LookState { upward: true };
+        let mut look = LookState {
+            upward: true,
+            ..LookState::default()
+        };
         let p = pick(
             Policy::Rlook,
             &d,
@@ -473,6 +531,71 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p_look.candidate, 0);
+    }
+
+    /// The bound-ordered heap scan must agree with a naive exhaustive
+    /// queue-order scan on every random queue — same entry AND same
+    /// replica, including first-minimal tie-breaks.
+    #[test]
+    fn satf_heap_scan_matches_exhaustive_scan() {
+        let mut d = disk();
+        let _ = d.begin(
+            SimTime::ZERO,
+            &Target {
+                cylinder: 4321,
+                surface: 0,
+                angle: 0.0,
+                sectors: 1,
+            },
+            false,
+        );
+        let now = d.busy_until();
+        let mut rng = mimd_sim::SimRng::seed_from(0xD15C);
+        for case in 0..200 {
+            let depth = 1 + (rng.below(24) as usize);
+            let dr = 1 + rng.below(4) as u32;
+            let slack = if case % 3 == 0 {
+                SimDuration::from_micros(rng.below(2_000))
+            } else {
+                SimDuration::ZERO
+            };
+            let q: Vec<Entry> = (0..depth)
+                .map(|_| Entry {
+                    candidates: (0..dr)
+                        .map(|k| Target {
+                            cylinder: rng.below(9_000) as u32,
+                            surface: k,
+                            angle: rng.unit(),
+                            sectors: 8,
+                        })
+                        .collect(),
+                    write: rng.below(4) == 0,
+                    at: SimTime::ZERO,
+                })
+                .collect();
+            for policy in [Policy::Satf, Policy::Rsatf] {
+                let aware = policy.replica_aware();
+                // Naive reference: first minimal cost in queue order.
+                let mut want: Option<(usize, usize, u64)> = None;
+                for (i, e) in q.iter().enumerate() {
+                    let limit = if aware { e.candidates.len() } else { 1 };
+                    for (c, t) in e.candidates.iter().take(limit).enumerate() {
+                        let cost = candidate_cost(&d, now, t, e.write, slack);
+                        if want.map(|(_, _, b)| cost < b).unwrap_or(true) {
+                            want = Some((i, c, cost));
+                        }
+                    }
+                }
+                let (wi, wc, _) = want.unwrap();
+                let mut look = LookState::default();
+                let got = pick(policy, &d, now, &q, &mut look, slack).unwrap();
+                assert_eq!(
+                    (got.queue_index, got.candidate),
+                    (wi, wc),
+                    "case {case}, {policy}, depth {depth}, dr {dr}"
+                );
+            }
+        }
     }
 
     #[test]

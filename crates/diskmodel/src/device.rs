@@ -86,7 +86,7 @@ mod tests {
 
     fn disk() -> SimDisk {
         SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             TimingPath::Detailed,
             PositionKnowledge::Perfect,
             0,

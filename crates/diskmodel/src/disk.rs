@@ -18,7 +18,7 @@
 
 use mimd_sim::{SimDuration, SimRng, SimTime};
 
-use crate::geometry::{Chs, Geometry};
+use crate::geometry::Geometry;
 use crate::mechanics::{mod1, ServiceBreakdown, Spindle};
 use crate::params::DiskParams;
 use crate::seek::SeekProfile;
@@ -69,6 +69,59 @@ pub struct Target {
     pub sectors: u32,
 }
 
+/// Slots in the [`QuantCache`] direct-mapped memo.
+const QUANT_WAYS: usize = 64;
+
+/// One memoised [`Geometry::quantise_angle`] result.
+#[derive(Debug, Clone, Copy)]
+struct QuantSlot {
+    valid: bool,
+    cylinder: u32,
+    surface: u32,
+    angle_bits: u64,
+    start: f64,
+    sector: u32,
+    spt: u32,
+}
+
+/// A tiny direct-mapped memo for [`Geometry::quantise_angle`].
+///
+/// The quantised start angle of a `(cylinder, surface, angle)` triple is a
+/// pure function of the (immutable) geometry, and the schedulers re-rank
+/// the same queued targets on every pick — so repeat quantisations hit
+/// here instead of redoing the skew `fmod`s. Purely an evaluation cache:
+/// hits return bit-identical values, never changing simulated time.
+#[derive(Debug, Clone)]
+struct QuantCache {
+    slots: [std::cell::Cell<QuantSlot>; QUANT_WAYS],
+}
+
+impl QuantCache {
+    fn new() -> Self {
+        QuantCache {
+            slots: std::array::from_fn(|_| {
+                std::cell::Cell::new(QuantSlot {
+                    valid: false,
+                    cylinder: 0,
+                    surface: 0,
+                    angle_bits: 0,
+                    start: 0.0,
+                    sector: 0,
+                    spt: 0,
+                })
+            }),
+        }
+    }
+
+    #[inline]
+    fn index(cylinder: u32, surface: u32, angle_bits: u64) -> usize {
+        let h = (cylinder as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ angle_bits
+            ^ ((surface as u64) << 32);
+        (h as usize) & (QUANT_WAYS - 1)
+    }
+}
+
 /// A simulated disk drive.
 ///
 /// Holds the arm position (`cylinder`) — the rotational position is a pure
@@ -82,7 +135,7 @@ pub struct Target {
 /// use mimd_sim::SimTime;
 ///
 /// let mut d = SimDisk::new(
-///     DiskParams::st39133lwv(),
+///     &DiskParams::st39133lwv(),
 ///     TimingPath::Detailed,
 ///     PositionKnowledge::Perfect,
 ///     7,
@@ -104,6 +157,9 @@ pub struct SimDisk {
     head_switch: SimDuration,
     overhead: SimDuration,
     rotation: SimDuration,
+    /// `rotation` in nanoseconds, cached for the scheduler's integer cost
+    /// comparisons.
+    rotation_ns: u64,
     avg_spt: f64,
     arm_cylinder: u32,
     arm_surface: u32,
@@ -119,21 +175,41 @@ pub struct SimDisk {
     rng: SimRng,
     rotation_misses: u64,
     requests_served: u64,
+    quant: QuantCache,
 }
 
 impl SimDisk {
     /// Builds a drive from parameters; fails if the parameters are invalid
     /// or the seek curve cannot be fitted.
     pub fn new(
-        params: DiskParams,
+        params: &DiskParams,
         path: TimingPath,
         knowledge: PositionKnowledge,
         seed: u64,
     ) -> Result<Self, String> {
-        let seek = SeekProfile::fit(&params)?;
-        let geometry = Geometry::new(&params);
+        let seek = SeekProfile::fit(params)?;
+        let geometry = Geometry::new(params);
+        Ok(Self::with_parts(
+            params, geometry, seek, path, knowledge, seed,
+        ))
+    }
+
+    /// Builds a drive from a pre-fitted seek profile and geometry.
+    ///
+    /// An array builds these once and clones them per disk — the profile's
+    /// lookup tables are `Arc`-shared, and the expensive numeric fit runs a
+    /// single time instead of once per spindle. `geometry` and `seek` must
+    /// have been derived from this same `params`.
+    pub fn with_parts(
+        params: &DiskParams,
+        geometry: Geometry,
+        seek: SeekProfile,
+        path: TimingPath,
+        knowledge: PositionKnowledge,
+        seed: u64,
+    ) -> Self {
         let rotation = params.rotation_time();
-        Ok(SimDisk {
+        SimDisk {
             avg_spt: geometry.avg_sectors_per_track(),
             geometry,
             seek,
@@ -143,6 +219,7 @@ impl SimDisk {
             head_switch: params.head_switch,
             overhead: params.overhead,
             rotation,
+            rotation_ns: rotation.as_nanos(),
             arm_cylinder: 0,
             arm_surface: 0,
             read_ahead: false,
@@ -152,7 +229,32 @@ impl SimDisk {
             rng: SimRng::seed_from(seed),
             rotation_misses: 0,
             requests_served: 0,
-        })
+            quant: QuantCache::new(),
+        }
+    }
+
+    /// [`Geometry::quantise_angle`] through the per-disk memo.
+    #[inline]
+    fn quantise_cached(&self, cylinder: u32, surface: u32, angle: f64) -> Option<(f64, u32, u32)> {
+        let bits = angle.to_bits();
+        let slot = &self.quant.slots[QuantCache::index(cylinder, surface, bits)];
+        let s = slot.get();
+        if s.valid && s.cylinder == cylinder && s.surface == surface && s.angle_bits == bits {
+            return Some((s.start, s.sector, s.spt));
+        }
+        let r = self.geometry.quantise_angle(cylinder, surface, angle);
+        if let Some((start, sector, spt)) = r {
+            slot.set(QuantSlot {
+                valid: true,
+                cylinder,
+                surface,
+                angle_bits: bits,
+                start,
+                sector,
+                spt,
+            });
+        }
+        r
     }
 
     /// The drive's geometry.
@@ -168,6 +270,37 @@ impl SimDisk {
     /// Full rotation time.
     pub fn rotation_time(&self) -> SimDuration {
         self.rotation
+    }
+
+    /// Full rotation time in nanoseconds (cached; hot in the scheduler).
+    #[inline]
+    pub fn rotation_ns(&self) -> u64 {
+        self.rotation_ns
+    }
+
+    /// A lower bound, in nanoseconds, on the positioning component
+    /// ([`ServiceBreakdown::positioning`]) that [`SimDisk::estimate`] would
+    /// report for `target`: the seek alone, before any rotational wait.
+    ///
+    /// Exactness matters — the SATF scan uses this to skip candidates whose
+    /// bound already exceeds the incumbent, which only preserves the pick
+    /// when the bound never overshoots. A track-buffer hit has zero
+    /// positioning, so potential hits return 0; write settle only adds
+    /// time, so the read seek bounds both directions.
+    #[inline]
+    pub fn positioning_lower_bound_ns(&self, target: &Target, write: bool) -> u64 {
+        if !write
+            && self.read_ahead
+            && self.buffered_track == Some((target.cylinder, target.surface))
+        {
+            return 0;
+        }
+        let distance = self.arm_cylinder.abs_diff(target.cylinder);
+        if distance == 0 {
+            0
+        } else {
+            self.seek.seek_ns(distance)
+        }
     }
 
     /// Current arm cylinder.
@@ -223,25 +356,23 @@ impl SimDisk {
         self.requests_served
     }
 
-    /// Resolves the effective start angle of a target under this timing
-    /// path (quantised to a sector start when detailed).
-    fn effective_angle(&self, target: &Target) -> f64 {
-        match self.path {
-            TimingPath::Analytic => mod1(target.angle),
-            TimingPath::Detailed => {
-                let sector = self
-                    .geometry
-                    .sector_at_angle(target.cylinder, target.surface, target.angle)
-                    .unwrap_or(0);
-                self.geometry
-                    .angle_of(Chs {
-                        cylinder: target.cylinder,
-                        surface: target.surface,
-                        sector,
-                    })
-                    .unwrap_or(mod1(target.angle))
+    /// Effective start angle and transfer time of a target, resolved
+    /// together: on the detailed path one zone lookup and one sector
+    /// quantisation serve both (they are the estimate's dominant cost).
+    fn angle_and_transfer(&self, target: &Target) -> (f64, SimDuration) {
+        if self.path == TimingPath::Detailed {
+            if let Some((angle, sector, spt)) =
+                self.quantise_cached(target.cylinder, target.surface, target.angle)
+            {
+                let media = self.spindle.arc(target.sectors as f64 / spt as f64);
+                let switches =
+                    (sector as u64 + target.sectors.saturating_sub(1) as u64) / spt as u64;
+                return (angle, media + self.head_switch * switches);
             }
         }
+        // Analytic path, or a target outside the geometry (falls back to
+        // the continuous angle and the generic transfer estimate).
+        (mod1(target.angle), self.transfer_time(target))
     }
 
     /// Transfer time for `sectors` starting at the effective angle.
@@ -270,6 +401,7 @@ impl SimDisk {
     /// Mechanical repositioning time to reach a target track: a seek when
     /// the cylinder changes, a head switch when only the surface does, and
     /// the write settle whenever the heads reposition before a write.
+    #[inline]
     fn positioning_time(&self, target: &Target, write: bool) -> SimDuration {
         let distance = self.arm_cylinder.abs_diff(target.cylinder);
         if distance > 0 {
@@ -313,17 +445,17 @@ impl SimDisk {
         }
         let seek = self.positioning_time(target, write);
         let arrive = start + overhead + seek;
-        let angle = self.effective_angle(target);
+        let (angle, transfer) = self.angle_and_transfer(target);
         // `wait_until_angle` works in absolute spindle phase; fold the
         // per-disk phase offset into the target.
         let rotation = self
             .spindle
-            .wait_until_angle(arrive, mod1(angle - self.phase_offset));
+            .wait_until_angle(arrive, self.target_phase(angle));
         ServiceBreakdown {
             overhead,
             seek,
             rotation,
-            transfer: self.transfer_time(target),
+            transfer,
             missed_rotation: false,
         }
     }
@@ -333,6 +465,47 @@ impl SimDisk {
     /// schedulers (SATF/RSATF/RLOOK replica choice) rank candidates by.
     pub fn estimate(&self, start: SimTime, target: &Target, write: bool) -> ServiceBreakdown {
         self.estimate_inner(start, target, write, self.overhead)
+    }
+
+    /// The scheduler's view of [`SimDisk::estimate`]: `(positioning,
+    /// rotation)` in nanoseconds, skipping the transfer-time computation
+    /// that candidate ranking never reads. Agrees exactly with
+    /// `estimate(start, target, write)`'s `positioning()` and `rotation`.
+    #[inline]
+    pub fn sched_cost_ns(&self, start: SimTime, target: &Target, write: bool) -> (u64, u64) {
+        if !write
+            && self.read_ahead
+            && self.buffered_track == Some((target.cylinder, target.surface))
+        {
+            return (0, 0); // Track-buffer hit: no positioning at all.
+        }
+        let seek = self.positioning_time(target, write);
+        let arrive = start + self.overhead + seek;
+        let angle = if self.path == TimingPath::Detailed {
+            match self.quantise_cached(target.cylinder, target.surface, target.angle) {
+                Some((angle, _, _)) => angle,
+                None => mod1(target.angle),
+            }
+        } else {
+            mod1(target.angle)
+        };
+        let rotation = self
+            .spindle
+            .wait_until_angle(arrive, self.target_phase(angle));
+        ((seek + rotation).as_nanos(), rotation.as_nanos())
+    }
+
+    /// Folds the per-disk phase offset into an effective target angle
+    /// (already reduced to `[0, 1)`). The zero-offset fast path skips a
+    /// `rem_euclid` division and is value-exact: `angle - 0.0 == angle`
+    /// and `mod1` is the identity on `[0, 1)`.
+    #[inline]
+    fn target_phase(&self, angle: f64) -> f64 {
+        if self.phase_offset == 0.0 {
+            angle
+        } else {
+            mod1(angle - self.phase_offset)
+        }
     }
 
     /// Like [`SimDisk::estimate`], but without the per-command overhead:
@@ -429,7 +602,7 @@ mod tests {
 
     fn disk(path: TimingPath) -> SimDisk {
         SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             path,
             PositionKnowledge::Perfect,
             42,
@@ -452,6 +625,48 @@ mod tests {
         assert!(!got.missed_rotation);
         assert_eq!(d.rotation_misses(), 0);
         assert_eq!(d.requests_served(), 1);
+    }
+
+    #[test]
+    fn sched_cost_matches_estimate_exactly() {
+        for path in [TimingPath::Detailed, TimingPath::Analytic] {
+            let mut d = disk(path);
+            d.set_phase_offset(0.37);
+            for i in 0..500u64 {
+                let t = Target {
+                    cylinder: ((i * 131) % 9_000) as u32,
+                    surface: (i % 12) as u32,
+                    angle: (i as f64 * 0.618).rem_euclid(1.0),
+                    sectors: 1 + (i % 64) as u32,
+                };
+                let start = SimTime::from_micros(i * 977);
+                for write in [false, true] {
+                    let est = d.estimate(start, &t, write);
+                    let (pos, rot) = d.sched_cost_ns(start, &t, write);
+                    assert_eq!(pos, est.positioning().as_nanos(), "{path:?} i={i}");
+                    assert_eq!(rot, est.rotation.as_nanos(), "{path:?} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sched_cost_matches_estimate_on_buffer_hits() {
+        let mut d = disk(TimingPath::Detailed);
+        d.set_read_ahead(true);
+        let t = Target {
+            cylinder: 500,
+            surface: 2,
+            angle: 0.3,
+            sectors: 16,
+        };
+        let _ = d.begin(SimTime::ZERO, &t, false);
+        let now = d.busy_until();
+        let est = d.estimate(now, &t, false);
+        let (pos, rot) = d.sched_cost_ns(now, &t, false);
+        assert_eq!(pos, est.positioning().as_nanos());
+        assert_eq!(rot, est.rotation.as_nanos());
+        assert_eq!(pos, 0);
     }
 
     #[test]
@@ -614,7 +829,7 @@ mod tests {
     #[test]
     fn tracked_knowledge_produces_rare_misses() {
         let mut d = SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             TimingPath::Detailed,
             PositionKnowledge::Tracked {
                 mean_error_us: 3.0,
@@ -647,7 +862,7 @@ mod tests {
         // A target placed exactly under the head with Tracked knowledge has
         // a ~50% miss chance (any positive "ahead" error overshoots).
         let mut d = SimDisk::new(
-            DiskParams::st39133lwv(),
+            &DiskParams::st39133lwv(),
             TimingPath::Analytic,
             PositionKnowledge::Tracked {
                 mean_error_us: 3.0,

@@ -54,6 +54,9 @@ pub struct Geometry {
     surfaces: u32,
     track_skew_frac: f64,
     zones: Vec<ZoneExtent>,
+    /// Zone index per cylinder — O(1) zone lookup on the timing hot path.
+    /// `Arc`-shared so per-disk clones of an array's geometry stay cheap.
+    cyl_zone: std::sync::Arc<[u16]>,
     total_sectors: u64,
     total_cylinders: u32,
 }
@@ -72,15 +75,20 @@ impl Geometry {
     /// ```
     pub fn new(params: &DiskParams) -> Self {
         let mut zones = Vec::with_capacity(params.zones.len());
+        let mut cyl_zone = Vec::new();
         let mut cyl = 0u32;
         let mut lbn = 0u64;
-        for z in &params.zones {
+        for (zi, z) in params.zones.iter().enumerate() {
             zones.push(ZoneExtent {
                 first_cylinder: cyl,
                 cylinders: z.cylinders,
                 sectors_per_track: z.sectors_per_track,
                 first_lbn: lbn,
             });
+            // Real drives have tens of zones; saturating at u16::MAX keeps
+            // construction panic-free without a fallible constructor.
+            let idx = u16::try_from(zi).unwrap_or(u16::MAX);
+            cyl_zone.extend(std::iter::repeat_n(idx, z.cylinders as usize));
             cyl += z.cylinders;
             lbn += z.cylinders as u64 * params.surfaces as u64 * z.sectors_per_track as u64;
         }
@@ -88,6 +96,7 @@ impl Geometry {
             surfaces: params.surfaces,
             track_skew_frac: params.track_skew_frac,
             zones,
+            cyl_zone: cyl_zone.into(),
             total_sectors: lbn,
             total_cylinders: cyl,
         }
@@ -120,14 +129,10 @@ impl Geometry {
             .collect()
     }
 
+    #[inline]
     fn zone_of_cylinder(&self, cylinder: u32) -> Option<&ZoneExtent> {
-        if cylinder >= self.total_cylinders {
-            return None;
-        }
-        let idx = self
-            .zones
-            .partition_point(|z| z.first_cylinder + z.cylinders <= cylinder);
-        self.zones.get(idx)
+        let idx = *self.cyl_zone.get(cylinder as usize)?;
+        self.zones.get(idx as usize)
     }
 
     fn zone_of_lbn(&self, lbn: u64) -> Option<&ZoneExtent> {
@@ -228,6 +233,32 @@ impl Geometry {
         // start, so the inverse of `angle_of` returns that same sector.
         let sector = (within * spt - 1e-6).ceil().max(0.0) as u32 % z.sectors_per_track;
         Some(sector)
+    }
+
+    /// Quantises `angle` to the owning track's sector grid in one pass,
+    /// returning `(start_angle, sector, sectors_per_track)`.
+    ///
+    /// Computes exactly what separate [`Geometry::sector_at_angle`],
+    /// [`Geometry::angle_of`], and [`Geometry::sectors_per_track`] calls
+    /// would — bit-for-bit, since the skew term is shared — but with a
+    /// single zone lookup. This is the detailed timing path's inner loop.
+    #[inline]
+    pub fn quantise_angle(
+        &self,
+        cylinder: u32,
+        surface: u32,
+        angle: f64,
+    ) -> Option<(f64, u32, u32)> {
+        let z = self.zone_of_cylinder(cylinder)?;
+        if surface >= self.surfaces {
+            return None;
+        }
+        let spt = z.sectors_per_track;
+        let skew = self.track_index(cylinder, surface) as f64 * self.track_skew_frac;
+        let within = (angle - skew).rem_euclid(1.0);
+        let sector = (within * spt as f64 - 1e-6).ceil().max(0.0) as u32 % spt;
+        let start = (skew + sector as f64 / spt as f64).rem_euclid(1.0);
+        Some((start, sector, spt))
     }
 }
 
@@ -398,6 +429,36 @@ mod tests {
                 assert_eq!(found, sector, "at {chs:?}");
             }
         }
+    }
+
+    #[test]
+    fn quantise_angle_matches_separate_queries() {
+        let g = geom();
+        let mut angle = 0.0137_f64;
+        for &(cyl, surf) in &[(0u32, 0u32), (633, 2), (700, 3), (4000, 11), (6961, 5)] {
+            for _ in 0..64 {
+                angle = (angle + 0.618_033_988_749_895).rem_euclid(1.0);
+                let (start, sector, spt) = g.quantise_angle(cyl, surf, angle).unwrap();
+                let want_sector = g.sector_at_angle(cyl, surf, angle).unwrap();
+                assert_eq!(sector, want_sector, "sector at ({cyl},{surf},{angle})");
+                assert_eq!(spt, g.sectors_per_track(cyl).unwrap());
+                let want_angle = g
+                    .angle_of(Chs {
+                        cylinder: cyl,
+                        surface: surf,
+                        sector,
+                    })
+                    .unwrap();
+                assert_eq!(
+                    start.to_bits(),
+                    want_angle.to_bits(),
+                    "angle at ({cyl},{surf},{angle})"
+                );
+            }
+        }
+        // Out of range in either coordinate is None, matching the parts.
+        assert!(g.quantise_angle(g.total_cylinders(), 0, 0.5).is_none());
+        assert!(g.quantise_angle(0, g.surfaces(), 0.5).is_none());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! use mimd_sim::SimTime;
 //!
 //! let mut disk = SimDisk::new(
-//!     DiskParams::st39133lwv(),
+//!     &DiskParams::st39133lwv(),
 //!     TimingPath::Detailed,
 //!     PositionKnowledge::Perfect,
 //!     1,

@@ -3,7 +3,21 @@
 use mimd_sim::{SimDuration, SimTime};
 
 /// Reduces an angle to the canonical `[0, 1)` revolution fraction.
+///
+/// The scheduler's inner loop only ever passes angle *differences* in
+/// `(-1, 1)`; for those the fast paths below are bit-identical to
+/// `rem_euclid(1.0)` (`fmod` of `|x| < 1` by one returns `x` unchanged,
+/// so the reduction is at most the same single add) without the `fmod`
+/// libcall.
+#[inline]
 pub fn mod1(x: f64) -> f64 {
+    if (0.0..1.0).contains(&x) {
+        return x;
+    }
+    if -1.0 < x && x < 0.0 {
+        let r = x + 1.0;
+        return if r >= 1.0 { 0.0 } else { r };
+    }
     let r = x.rem_euclid(1.0);
     if r >= 1.0 {
         0.0
@@ -43,6 +57,7 @@ impl Spindle {
     }
 
     /// Platter phase (fraction of a revolution) at instant `t`.
+    #[inline]
     pub fn angle_at(&self, t: SimTime) -> f64 {
         let p = self.period.as_nanos();
         (t.as_nanos() % p) as f64 / p as f64
@@ -50,12 +65,14 @@ impl Spindle {
 
     /// Time to wait from instant `t` until the platter reaches `target`
     /// phase. Zero if the target is exactly under the head.
+    #[inline]
     pub fn wait_until_angle(&self, t: SimTime, target: f64) -> SimDuration {
         let delta = mod1(target - self.angle_at(t));
         SimDuration::from_nanos((delta * self.period.as_nanos() as f64).round() as u64)
     }
 
     /// Duration of a rotational arc of `frac` revolutions (`frac >= 0`).
+    #[inline]
     pub fn arc(&self, frac: f64) -> SimDuration {
         debug_assert!(frac >= 0.0);
         SimDuration::from_nanos((frac * self.period.as_nanos() as f64).round() as u64)

@@ -17,11 +17,19 @@
 //! maximum seek times — the same calibration the paper's prototype performs
 //! against live hardware (§3.2).
 
+use std::sync::Arc;
+
 use mimd_sim::SimDuration;
 
 use crate::params::DiskParams;
 
 /// A calibrated two-regime seek-time curve.
+///
+/// After calibration the curve is tabulated per cylinder distance, so the
+/// scheduler-facing [`SeekProfile::seek`] / [`SeekProfile::seek_write`] hot
+/// paths are a single indexed load instead of a `sqrt` and float→duration
+/// conversion. The tables are `Arc`-shared: cloning a fitted profile (one
+/// per disk in an array) costs two refcount bumps, not half a megabyte.
 #[derive(Debug, Clone)]
 pub struct SeekProfile {
     /// Intercept of the sqrt regime, in microseconds.
@@ -34,6 +42,11 @@ pub struct SeekProfile {
     cylinders: u32,
     /// Extra settle time for writes, in microseconds.
     write_settle_us: f64,
+    /// Read-seek nanoseconds per cylinder distance (`0..cylinders`); empty
+    /// only in the throwaway profiles the fit's bisection evaluates.
+    lut_ns: Arc<[u64]>,
+    /// Write-seek nanoseconds per cylinder distance, settle included.
+    lut_write_ns: Arc<[u64]>,
 }
 
 impl SeekProfile {
@@ -77,13 +90,7 @@ impl SeekProfile {
         };
         let avg_of = |d0: f64| -> f64 {
             let (a, b) = solve(d0);
-            let prof = SeekProfile {
-                a_us: a,
-                b_us: b,
-                d0,
-                cylinders: params.total_cylinders(),
-                write_settle_us: 0.0,
-            };
+            let prof = SeekProfile::analytic(a, b, d0, params.total_cylinders(), 0.0);
             prof.numeric_expected_random_seek_us(c)
         };
 
@@ -108,13 +115,49 @@ impl SeekProfile {
         if b <= 0.0 || a < 0.0 {
             return Err("fit produced a non-physical curve".into());
         }
-        Ok(SeekProfile {
-            a_us: a,
-            b_us: b,
+        let mut prof = SeekProfile::analytic(
+            a,
+            b,
             d0,
-            cylinders: params.total_cylinders(),
-            write_settle_us: params.write_settle.as_micros_f64(),
-        })
+            params.total_cylinders(),
+            params.write_settle.as_micros_f64(),
+        );
+        prof.build_luts();
+        Ok(prof)
+    }
+
+    /// A curve without lookup tables; [`Self::seek`] falls back to the
+    /// analytic formula. Used for the fit's throwaway bisection probes.
+    fn analytic(a_us: f64, b_us: f64, d0: f64, cylinders: u32, write_settle_us: f64) -> Self {
+        SeekProfile {
+            a_us,
+            b_us,
+            d0,
+            cylinders,
+            write_settle_us,
+            lut_ns: Arc::from(Vec::new()),
+            lut_write_ns: Arc::from(Vec::new()),
+        }
+    }
+
+    /// Tabulates the curve per cylinder distance. Entries reproduce the
+    /// analytic path bit-for-bit: each is exactly what
+    /// `SimDuration::from_micros_f64(time_us(d))` would return.
+    fn build_luts(&mut self) {
+        let n = self.cylinders as usize;
+        let mut read = Vec::with_capacity(n);
+        let mut write = Vec::with_capacity(n);
+        for d in 0..n {
+            let t = self.time_us(d as f64);
+            read.push(SimDuration::from_micros_f64(t).as_nanos());
+            write.push(if d == 0 {
+                0
+            } else {
+                SimDuration::from_micros_f64(t + self.write_settle_us).as_nanos()
+            });
+        }
+        self.lut_ns = Arc::from(read);
+        self.lut_write_ns = Arc::from(write);
     }
 
     fn time_us(&self, distance: f64) -> f64 {
@@ -131,19 +174,40 @@ impl SeekProfile {
     }
 
     /// Read-seek time for a cylinder distance.
+    #[inline]
     pub fn seek(&self, distance: u32) -> SimDuration {
-        SimDuration::from_micros_f64(self.time_us(distance as f64))
+        match self.lut_ns.get(distance as usize) {
+            Some(&ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::from_micros_f64(self.time_us(distance as f64)),
+        }
     }
 
     /// Write-seek time: read seek plus the write settle penalty.
     ///
     /// The settle is charged whenever the arm repositions (`distance > 0`);
     /// a zero-distance write pays nothing extra here.
+    #[inline]
     pub fn seek_write(&self, distance: u32) -> SimDuration {
         if distance == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_micros_f64(self.time_us(distance as f64) + self.write_settle_us)
+        match self.lut_write_ns.get(distance as usize) {
+            Some(&ns) => SimDuration::from_nanos(ns),
+            None => {
+                SimDuration::from_micros_f64(self.time_us(distance as f64) + self.write_settle_us)
+            }
+        }
+    }
+
+    /// Read-seek nanoseconds for a cylinder distance — the raw table entry,
+    /// for callers (the scheduler's candidate scan) that compare costs in
+    /// integer nanoseconds without constructing durations.
+    #[inline]
+    pub fn seek_ns(&self, distance: u32) -> u64 {
+        match self.lut_ns.get(distance as usize) {
+            Some(&ns) => ns,
+            None => self.seek(distance).as_nanos(),
+        }
     }
 
     /// The regime-boundary distance found by the fit.
@@ -283,6 +347,47 @@ mod tests {
         let mut p = DiskParams::st39133lwv();
         p.avg_seek = SimDuration::from_micros(1_000);
         assert!(SeekProfile::fit(&p).is_err());
+    }
+
+    #[test]
+    fn lut_matches_analytic_curve_at_every_distance() {
+        // The table is a pure cache: for every representable cylinder
+        // distance, the tabulated read and write seeks must equal what the
+        // analytic two-regime formula produces, bit for bit.
+        for p in [
+            DiskParams::st39133lwv(),
+            DiskParams::slow_spindle_7200(),
+            DiskParams::circa_2004_15k(),
+        ] {
+            let s = SeekProfile::fit(&p).expect("fit succeeds");
+            for d in 0..p.total_cylinders() {
+                let analytic_read = SimDuration::from_micros_f64(s.time_us(d as f64));
+                assert_eq!(s.seek(d), analytic_read, "{}: read seek({d})", p.model);
+                assert_eq!(s.seek_ns(d), analytic_read.as_nanos());
+                let analytic_write = if d == 0 {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_micros_f64(s.time_us(d as f64) + s.write_settle_us)
+                };
+                assert_eq!(
+                    s.seek_write(d),
+                    analytic_write,
+                    "{}: write seek({d})",
+                    p.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_domain_distances_fall_back_to_analytic() {
+        let (p, s) = fitted();
+        let beyond = p.total_cylinders() + 10;
+        assert_eq!(
+            s.seek(beyond),
+            SimDuration::from_micros_f64(s.time_us(beyond as f64))
+        );
+        assert_eq!(s.seek_ns(beyond), s.seek(beyond).as_nanos());
     }
 
     #[test]

@@ -13,7 +13,7 @@ fn geometry() -> Geometry {
 
 fn disk(path: TimingPath) -> SimDisk {
     SimDisk::new(
-        DiskParams::st39133lwv(),
+        &DiskParams::st39133lwv(),
         path,
         PositionKnowledge::Perfect,
         1,

@@ -1,0 +1,300 @@
+//! Declarative experiment grids: shape × policy × workload × seed.
+//!
+//! A [`GridSpec`] names every cell of an experiment up front; [`GridSpec::run`]
+//! fans the cells across the thread pool (one single-threaded [`ArraySim`]
+//! per cell) and collects results back in grid order, so the emitted JSON is
+//! byte-identical whether the grid ran on one thread or sixteen.
+
+use std::sync::Arc;
+
+use mimd_core::{ArraySim, EngineConfig, Policy, RunReport, Shape};
+use mimd_workload::{IometerSpec, Trace};
+
+use crate::json::Json;
+use crate::pool::{configured_threads, parallel_map_with};
+
+/// What one grid cell drives into the simulator.
+#[derive(Clone)]
+pub enum Workload {
+    /// Open-loop replay of a shared trace.
+    Trace(Arc<Trace>),
+    /// Iometer-style closed loop.
+    Closed {
+        /// Request generator.
+        spec: IometerSpec,
+        /// Logical data size in sectors (the layout's capacity input).
+        data_sectors: u64,
+        /// Requests kept in flight.
+        outstanding: usize,
+        /// Completions to measure.
+        completions: u64,
+    },
+}
+
+impl Workload {
+    fn data_sectors(&self) -> u64 {
+        match self {
+            Workload::Trace(t) => t.data_sectors,
+            Workload::Closed { data_sectors, .. } => *data_sectors,
+        }
+    }
+}
+
+/// One cell of the grid, in grid order.
+#[derive(Clone)]
+pub struct Cell {
+    /// Position in [`GridSpec::cells`] order.
+    pub index: usize,
+    /// Array shape.
+    pub shape: Shape,
+    /// Scheduling policy; `None` means the paper default for the shape.
+    pub policy: Option<Policy>,
+    /// Index into the spec's workload list.
+    pub workload: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A full experiment: the cartesian product of its axes.
+pub struct GridSpec {
+    /// Experiment name (becomes the JSON file stem).
+    pub name: String,
+    /// Array shapes (outermost axis).
+    pub shapes: Vec<Shape>,
+    /// Policies per shape; `None` = `Policy::default_for_dr`.
+    pub policies: Vec<Option<Policy>>,
+    /// Named workloads.
+    pub workloads: Vec<(String, Workload)>,
+    /// Seeds (innermost axis).
+    pub seeds: Vec<u64>,
+}
+
+impl GridSpec {
+    /// A single-policy, single-seed grid — the common figure shape.
+    pub fn new(name: impl Into<String>) -> GridSpec {
+        GridSpec {
+            name: name.into(),
+            shapes: Vec::new(),
+            policies: vec![None],
+            workloads: Vec::new(),
+            seeds: vec![42],
+        }
+    }
+
+    /// Enumerates every cell in fixed order: shape, then policy, then
+    /// workload, then seed.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out =
+            Vec::with_capacity(self.shapes.len() * self.policies.len() * self.workloads.len());
+        let mut index = 0;
+        for &shape in &self.shapes {
+            for &policy in &self.policies {
+                for workload in 0..self.workloads.len() {
+                    for &seed in &self.seeds {
+                        out.push(Cell {
+                            index,
+                            shape,
+                            policy,
+                            workload,
+                            seed,
+                        });
+                        index += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the whole grid on [`configured_threads`] workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell's layout is infeasible — a grid is a statement of
+    /// intent, and a shape that cannot hold the data set is a bug in the
+    /// experiment, not a runtime condition.
+    pub fn run(&self) -> GridResult {
+        self.run_with(configured_threads(), |cfg| cfg)
+    }
+
+    /// Runs with an explicit worker count and a per-cell config customizer
+    /// (write mode, cache, timing path, ...). The customizer must be
+    /// deterministic: it sees the fully-formed base config for each cell.
+    pub fn run_with(
+        &self,
+        threads: usize,
+        customize: impl Fn(EngineConfig) -> EngineConfig + Sync,
+    ) -> GridResult {
+        let cells = self.cells();
+        let reports = parallel_map_with(threads, cells, |cell| {
+            let mut cfg = EngineConfig::new(cell.shape).with_seed(cell.seed);
+            if let Some(p) = cell.policy {
+                cfg = cfg.with_policy(p);
+            }
+            let cfg = customize(cfg);
+            let (name, workload) = &self.workloads[cell.workload];
+            let mut sim = ArraySim::new(cfg, workload.data_sectors()).unwrap_or_else(|e| {
+                panic!(
+                    "grid '{}' cell {} ({} / {}): infeasible layout: {e:?}",
+                    self.name, cell.index, cell.shape, name
+                )
+            });
+            let report = match workload {
+                Workload::Trace(t) => sim.run_trace(t),
+                Workload::Closed {
+                    spec,
+                    outstanding,
+                    completions,
+                    ..
+                } => sim.run_closed_loop(spec, *outstanding, *completions),
+            };
+            CellResult {
+                cell: cell.clone(),
+                workload_name: name.clone(),
+                report,
+            }
+        });
+        GridResult {
+            name: self.name.clone(),
+            cells: reports,
+        }
+    }
+}
+
+/// One cell's labels plus its run report.
+pub struct CellResult {
+    /// Which cell this was.
+    pub cell: Cell,
+    /// The workload's name from the spec.
+    pub workload_name: String,
+    /// The simulation's output.
+    pub report: RunReport,
+}
+
+/// All cell results, in grid order.
+pub struct GridResult {
+    /// The spec's name.
+    pub name: String,
+    /// Results in [`GridSpec::cells`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl GridResult {
+    /// Serializes the grid to the harness's JSON schema.
+    pub fn to_json(&mut self) -> Json {
+        let cells: Vec<Json> = self.cells.iter_mut().map(cell_json).collect();
+        Json::object([
+            ("experiment", Json::from(self.name.as_str())),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+}
+
+fn cell_json(r: &mut CellResult) -> Json {
+    let mut j = Json::object([
+        ("shape", Json::from(r.cell.shape.to_string())),
+        (
+            "policy",
+            match r.cell.policy {
+                Some(p) => Json::from(p.to_string()),
+                None => Json::from(Policy::default_for_dr(r.cell.shape.dr).to_string()),
+            },
+        ),
+        ("workload", Json::from(r.workload_name.as_str())),
+        ("seed", Json::from(r.cell.seed)),
+    ]);
+    j.push_field("metrics", report_json(&mut r.report));
+    j
+}
+
+/// The machine-readable core of a [`RunReport`].
+pub fn report_json(r: &mut RunReport) -> Json {
+    let p95 = r.response_percentile_ms(0.95);
+    let p99 = r.response_percentile_ms(0.99);
+    Json::object([
+        ("completed", Json::from(r.completed)),
+        ("sim_time_ms", Json::from(r.sim_time.as_millis_f64())),
+        ("mean_response_ms", Json::from(r.mean_response_ms())),
+        ("p95_response_ms", p95.map(Json::from).unwrap_or(Json::Null)),
+        ("p99_response_ms", p99.map(Json::from).unwrap_or(Json::Null)),
+        ("throughput_iops", Json::from(r.throughput_iops())),
+        ("read_mean_ms", Json::from(r.read_ms.mean())),
+        ("write_mean_ms", Json::from(r.write_ms.mean())),
+        ("phys_requests", Json::from(r.phys_requests)),
+        ("delayed_propagated", Json::from(r.delayed_propagated)),
+        ("delayed_coalesced", Json::from(r.delayed_coalesced)),
+        ("nvram_peak", Json::from(r.nvram_peak)),
+        ("failed_requests", Json::from(r.failed_requests)),
+        ("prediction_miss_rate", Json::from(r.prediction.miss_rate())),
+        ("seek_mean_ms", Json::from(r.seek_ms.mean())),
+        ("rotation_mean_ms", Json::from(r.rotation_ms.mean())),
+        ("transfer_mean_ms", Json::from(r.transfer_ms.mean())),
+        ("queue_wait_mean_ms", Json::from(r.queue_wait_ms.mean())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_workload::SyntheticSpec;
+
+    fn small_grid() -> GridSpec {
+        let trace = Arc::new(SyntheticSpec::cello_base().generate(7, 200));
+        GridSpec {
+            name: "unit".into(),
+            shapes: vec![Shape::striping(2), Shape::new(1, 2, 1).unwrap()],
+            policies: vec![None],
+            workloads: vec![("cello".into(), Workload::Trace(trace))],
+            seeds: vec![42, 43],
+        }
+    }
+
+    #[test]
+    fn cells_enumerate_in_fixed_order() {
+        let g = small_grid();
+        let cells = g.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].shape, Shape::striping(2));
+        assert_eq!(cells[0].seed, 42);
+        assert_eq!(cells[1].seed, 43);
+        assert_eq!(cells[2].shape, Shape::new(1, 2, 1).unwrap());
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn parallel_grid_json_matches_serial_bytes() {
+        let g = small_grid();
+        let serial = g.run_with(1, |c| c).to_json().to_json();
+        for threads in [2, 4, 8] {
+            let parallel = g.run_with(threads, |c| c).to_json().to_json();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        assert!(serial.contains(r#""experiment":"unit""#));
+        assert!(serial.contains("mean_response_ms"));
+    }
+
+    #[test]
+    fn closed_loop_cells_run() {
+        let data = 4 * 1024 * 1024; // sectors
+        let g = GridSpec {
+            name: "closed".into(),
+            shapes: vec![Shape::striping(2)],
+            policies: vec![Some(Policy::Satf)],
+            workloads: vec![(
+                "rand-read".into(),
+                Workload::Closed {
+                    spec: IometerSpec::random_read_512(data),
+                    data_sectors: data,
+                    outstanding: 4,
+                    completions: 100,
+                },
+            )],
+            seeds: vec![1],
+        };
+        let mut out = g.run_with(2, |c| c);
+        assert_eq!(out.cells.len(), 1);
+        assert_eq!(out.cells[0].report.completed, 100);
+        let js = out.to_json().to_json();
+        assert!(js.contains(r#""policy":"SATF""#));
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal hand-rolled JSON value and serializer.
+//!
+//! The workspace builds offline with no external crates, so experiment
+//! output is serialized by this module instead of serde. Serialization is
+//! deterministic: object fields keep insertion order, floats print in
+//! Rust's shortest round-trip form, and non-finite floats become `null`.
+//! Determinism matters more than generality here — the harness's
+//! byte-identical parallel-vs-serial guarantee is checked on these bytes.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+///
+/// # Examples
+///
+/// ```
+/// use mimd_harness::Json;
+///
+/// let j = Json::object([
+///     ("name", Json::from("fig09")),
+///     ("cells", Json::array(vec![Json::from(1.5), Json::from(2u64)])),
+/// ]);
+/// assert_eq!(j.to_json(), r#"{"name":"fig09","cells":[1.5,2]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite float (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields serialize in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push_field(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            _ => panic!("push_field on a non-object Json"),
+        }
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's float Display is the shortest round-trip form,
+                    // which is stable across runs and platforms.
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_json(), "null");
+        assert_eq!(Json::from(true).to_json(), "true");
+        assert_eq!(Json::Int(-3).to_json(), "-3");
+        assert_eq!(Json::from(42u64).to_json(), "42");
+        assert_eq!(Json::from(1.5).to_json(), "1.5");
+        assert_eq!(Json::from(0.1).to_json(), "0.1");
+        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").to_json(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structures_keep_order() {
+        let j = Json::object([
+            ("z", Json::from(1u64)),
+            ("a", Json::array(vec![Json::Null, Json::from("x")])),
+        ]);
+        assert_eq!(j.to_json(), r#"{"z":1,"a":[null,"x"]}"#);
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_round_trip() {
+        assert_eq!(Json::from(6.0).to_json(), "6");
+        assert_eq!(
+            Json::from(0.30000000000000004).to_json(),
+            "0.30000000000000004"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_field_rejects_non_objects() {
+        Json::Arr(vec![]).push_field("x", Json::Null);
+    }
+}

@@ -1,0 +1,130 @@
+//! An ordered, work-stealing parallel map over scoped threads.
+//!
+//! The pool is the **only** place in the workspace where threads are
+//! spawned (the `parallelism` simlint rule enforces this): every
+//! simulation below it stays single-threaded and deterministic, and the
+//! pool preserves that determinism by collecting results back in job
+//! order — the output of [`parallel_map`] is byte-for-byte identical to a
+//! serial `jobs.iter().map(f)` regardless of thread count or OS
+//! scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by [`parallel_map`]: the `MIMD_THREADS`
+/// environment variable when set to a positive integer, else the
+/// machine's available parallelism (1 if unknown).
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("MIMD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `jobs` on [`configured_threads`] workers, returning
+/// results in job order.
+///
+/// # Examples
+///
+/// ```
+/// let squares = mimd_harness::parallel_map(vec![1u64, 2, 3, 4], |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(configured_threads(), jobs, f)
+}
+
+/// [`parallel_map`] with an explicit worker count.
+///
+/// Work distribution is a shared atomic cursor (idle workers steal the
+/// next un-started job), so stragglers never serialize the tail. With
+/// `threads <= 1` the map runs inline on the caller's thread; either way
+/// the result vector is ordered by job index.
+pub fn parallel_map_with<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&jobs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("harness worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_job_edge_cases() {
+        let none: Vec<u32> = parallel_map_with(8, Vec::<u32>::new(), |x| *x);
+        assert!(none.is_empty());
+        assert_eq!(parallel_map_with(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn order_is_preserved_at_any_thread_count() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = jobs.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map_with(threads, jobs.clone(), |x| x * 3 + 1);
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_job_costs_still_collect_in_order() {
+        // Early jobs are the slowest; a naive chunking would reorder.
+        let jobs: Vec<u64> = (0..64).collect();
+        let got = parallel_map_with(4, jobs, |x| {
+            let spin = (64 - x) * 1_000;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (*x, acc).0
+        });
+        assert_eq!(got, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

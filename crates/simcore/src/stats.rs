@@ -194,14 +194,25 @@ impl SampleSet {
 
     /// Exact p-th percentile (`0.0 ..= 1.0`) by nearest-rank; `None` when
     /// empty.
+    ///
+    /// Uses O(n) partial selection rather than a full sort when the set is
+    /// unsorted — a run that only reports p95/p99 never pays O(n log n).
+    /// Selection partially reorders `values` but leaves `sorted` false, so
+    /// a later [`Self::sorted_values`] still sorts correctly.
     pub fn percentile(&mut self, p: f64) -> Option<f64> {
         if self.values.is_empty() {
             return None;
         }
-        self.ensure_sorted();
         let p = p.clamp(0.0, 1.0);
         let rank = ((p * self.values.len() as f64).ceil() as usize).max(1) - 1;
-        Some(self.values[rank.min(self.values.len() - 1)])
+        let rank = rank.min(self.values.len() - 1);
+        if self.sorted {
+            return Some(self.values[rank]);
+        }
+        let (_, nth, _) = self
+            .values
+            .select_nth_unstable_by(rank, |a, b| a.partial_cmp(b).expect("samples are finite"));
+        Some(*nth)
     }
 
     /// Median; `None` when empty.

@@ -22,6 +22,12 @@
 //! - [`Rule::Panic`] — no `unwrap()`/`expect()`/`panic!`-family macros in
 //!   `crates/core/src/engine` and `crates/diskmodel/src` non-test code.
 //!   Hot-path failures must surface as `Result`/`Option`, not aborts.
+//! - [`Rule::Parallelism`] — no threads, locks, channels, or atomics in
+//!   the simulation crates (`simcore`, `core`, `diskmodel`, `workloads`).
+//!   Every simulator instance is strictly single-threaded; `mimd-harness`
+//!   is the one layer allowed to spawn threads, and it keeps determinism
+//!   by running one private simulator per job and merging results in job
+//!   order. (`Arc` is fine — shared *immutable* data has no ordering.)
 //!
 //! Test modules (`#[cfg(test)]`), doc comments, strings, and the
 //! `tests/`, `benches/`, and `examples/` trees are exempt. A violation
@@ -46,6 +52,8 @@ pub enum Rule {
     TimeUnits,
     /// Panicking calls in the engine / disk-model hot paths.
     Panic,
+    /// Threading/synchronization primitives below the harness layer.
+    Parallelism,
 }
 
 impl Rule {
@@ -56,6 +64,7 @@ impl Rule {
             Rule::Collections => "collections",
             Rule::TimeUnits => "time-units",
             Rule::Panic => "panic",
+            Rule::Parallelism => "parallelism",
         }
     }
 
@@ -65,6 +74,7 @@ impl Rule {
             "collections" => Some(Rule::Collections),
             "time-units" => Some(Rule::TimeUnits),
             "panic" => Some(Rule::Panic),
+            "parallelism" => Some(Rule::Parallelism),
             _ => None,
         }
     }
@@ -106,6 +116,7 @@ pub struct Scope {
     collections: bool,
     time_units: bool,
     panic: bool,
+    parallelism: bool,
 }
 
 impl Scope {
@@ -115,6 +126,7 @@ impl Scope {
         collections: false,
         time_units: false,
         panic: false,
+        parallelism: false,
     };
 
     /// Derives the applicable rules from a workspace-relative path
@@ -138,12 +150,13 @@ impl Scope {
             collections: in_src_of("simcore") || in_src_of("core") || in_src_of("diskmodel"),
             time_units: sim_crate && rel != "crates/simcore/src/time.rs",
             panic: rel.starts_with("crates/core/src/engine/") || in_src_of("diskmodel"),
+            parallelism: sim_crate,
         }
     }
 
     /// Whether no rule applies.
     pub fn is_exempt(&self) -> bool {
-        !(self.determinism || self.collections || self.time_units || self.panic)
+        !(self.determinism || self.collections || self.time_units || self.panic || self.parallelism)
     }
 }
 
@@ -488,6 +501,48 @@ const PANICKY: [(&str, &str); 6] = [
     ),
 ];
 
+/// Threading and synchronization constructs banned below the harness.
+///
+/// The simulator's determinism story is "one single-threaded simulator
+/// per experiment cell, fanned out only by `mimd-harness`" — any thread,
+/// lock, channel, or atomic underneath it either breaks reproducibility
+/// or silently depends on it being unused. `Arc` is deliberately absent:
+/// sharing immutable data is order-free.
+const PARALLELISM: [(&str, &str); 8] = [
+    (
+        "std::thread",
+        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+    ),
+    (
+        "thread::spawn",
+        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+    ),
+    (
+        "thread::scope",
+        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+    ),
+    (
+        "Mutex",
+        "no shared mutable state below the harness; pass data by value or `Arc` of immutable data",
+    ),
+    (
+        "RwLock",
+        "no shared mutable state below the harness; pass data by value or `Arc` of immutable data",
+    ),
+    (
+        "Condvar",
+        "no blocking synchronization in simulation code; the event queue is the only scheduler",
+    ),
+    (
+        "mpsc",
+        "no channels in simulation code; return results from the harness's ordered map",
+    ),
+    (
+        "sync::atomic",
+        "atomics imply cross-thread mutation; simulation state is single-threaded by contract",
+    ),
+];
+
 /// Lints one file's source text under the given scope.
 ///
 /// `rel_path` is used only for diagnostics. This is the pure core the
@@ -556,6 +611,13 @@ pub fn lint_source(rel_path: &str, scope: Scope, source: &str) -> Vec<Violation>
             for (needle, why) in PANICKY {
                 if has_token(code, needle) {
                     push(Rule::Panic, format!("`{needle}` in a no-panic zone; {why}"));
+                }
+            }
+        }
+        if scope.parallelism && !allowed(Rule::Parallelism) {
+            for (needle, why) in PARALLELISM {
+                if has_token(code, needle) {
+                    push(Rule::Parallelism, format!("`{needle}`: {why}"));
                 }
             }
         }
@@ -632,6 +694,13 @@ mod tests {
         assert!(Scope::for_path("crates/bench/src/bin/fig05_validation.rs").is_exempt());
         assert!(Scope::for_path("examples/quickstart.rs").is_exempt());
         assert!(Scope::for_path("crates/simlint/src/lib.rs").is_exempt());
+        // Threading is allowed only above the simulation layer: the
+        // harness and bench crates are exempt, every sim crate is not.
+        assert!(Scope::for_path("crates/harness/src/pool.rs").is_exempt());
+        assert!(Scope::for_path("crates/simcore/src/event.rs").parallelism);
+        assert!(Scope::for_path("crates/core/src/engine/mod.rs").parallelism);
+        assert!(Scope::for_path("crates/diskmodel/src/disk.rs").parallelism);
+        assert!(Scope::for_path("crates/workloads/src/synth.rs").parallelism);
     }
 
     #[test]
@@ -717,6 +786,42 @@ mod tests {
         let v = lint_source(SIM, Scope::for_path(SIM), src);
         assert!(v.iter().any(|x| x.line == 2 && x.rule == Rule::Determinism));
         assert!(v.iter().any(|x| x.line == 3 && x.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn threads_locks_and_atomics_flagged_in_sim_crates() {
+        let src = "use std::sync::atomic::AtomicUsize;\n\
+                   use std::sync::{Mutex, RwLock};\n\
+                   fn f() {\n    std::thread::spawn(|| {});\n    let (tx, rx) = mpsc::channel();\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.iter().all(|x| x.rule == Rule::Parallelism), "{v:?}");
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert!(lines.contains(&1), "atomics import: {v:?}");
+        assert!(lines.contains(&2), "Mutex/RwLock import: {v:?}");
+        assert!(lines.contains(&4), "thread spawn: {v:?}");
+        assert!(lines.contains(&5), "mpsc channel: {v:?}");
+    }
+
+    #[test]
+    fn arc_of_immutable_data_is_not_flagged() {
+        let src = "use std::sync::Arc;\nstruct S { zones: Arc<[u16]> }\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn parallelism_allow_directive_waives() {
+        let src = "fn f() {\n    // simlint: allow(parallelism) — doc example, never compiled in\n    let m = Mutex::new(());\n    let _ = m;\n}\n";
+        let v = lint_source(SIM, Scope::for_path(SIM), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn harness_pool_is_exempt_from_parallelism() {
+        let src = "use std::sync::atomic::AtomicUsize;\nfn go() { std::thread::scope(|_| {}); }\n";
+        let rel = "crates/harness/src/pool.rs";
+        let v = lint_source(rel, Scope::for_path(rel), src);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
