@@ -17,12 +17,14 @@
 //!   `MIMD_JSON_DIR` (default `target/experiments/`), one
 //!   `{name, ns_per_iter}` record per benchmark, for the perf trajectory.
 
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
 use std::cell::RefCell;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use mimd_core::sched::{pick, LookState, Policy, Schedulable};
-use mimd_core::{ArraySim, EngineConfig, Layout, Shape};
+use mimd_core::{ArraySim, DriveQueue, EngineConfig, Layout, Shape};
 use mimd_disk::{
     DiskParams, Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath,
 };
@@ -32,6 +34,44 @@ use mimd_workload::{IometerSpec, SyntheticSpec};
 
 thread_local! {
     static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A counting wrapper around the system allocator: lets steady-state
+/// sections assert they allocate nothing at all.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `op` repeatedly and asserts the steady state allocates nothing:
+/// one warmup call may allocate (scratch buffers growing to capacity);
+/// the next `iters` calls must not touch the allocator at all.
+fn assert_allocation_free<T>(name: &str, iters: u64, mut op: impl FnMut() -> T) {
+    black_box(op()); // Warmup: scratch capacity is allowed to grow here.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        black_box(op());
+    }
+    let grew = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(grew, 0, "{name}: {grew} allocations in steady state");
+    println!("{name:<40} allocation-free over {iters} iters");
 }
 
 fn quick() -> bool {
@@ -106,6 +146,7 @@ fn emit_json() {
     }
 }
 
+#[derive(Clone)]
 struct Entry {
     targets: Vec<Target>,
     at: SimTime,
@@ -172,7 +213,7 @@ fn bench_scheduler_pick() {
     )
     .expect("valid params");
     let mut rng = SimRng::seed_from(3);
-    for depth in [8usize, 16, 32, 128] {
+    for depth in [4usize, 16, 64, 256] {
         let queue = make_queue(depth, 3, &mut rng);
         for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
             let mut look = LookState::default();
@@ -187,6 +228,80 @@ fn bench_scheduler_pick() {
                 )
             });
         }
+    }
+}
+
+fn bench_drive_queue_pick() {
+    // The indexed twin of `scheduler_pick`: identical entry distribution,
+    // picked through the DriveQueue rotational-band / sweep indexes
+    // instead of the linear candidate scan.
+    let disk = SimDisk::new(
+        &DiskParams::st39133lwv(),
+        TimingPath::Detailed,
+        PositionKnowledge::Perfect,
+        2,
+    )
+    .expect("valid params");
+    let mut rng = SimRng::seed_from(3);
+    for depth in [4usize, 16, 64, 256] {
+        let entries = make_queue(depth, 3, &mut rng);
+        for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
+            let mut dq: DriveQueue<Entry> = DriveQueue::new(policy, 3_000);
+            for e in &entries {
+                dq.insert(e.clone());
+            }
+            let mut look = LookState::default();
+            bench(&format!("drive_queue_pick/{policy}/{depth}"), || {
+                dq.pick(
+                    &disk,
+                    black_box(SimTime::from_millis(5)),
+                    &mut look,
+                    SimDuration::ZERO,
+                    usize::MAX,
+                )
+            });
+        }
+    }
+}
+
+fn bench_drive_queue_churn() {
+    // One request's worth of DriveQueue work at steady depth: pick the
+    // best entry, remove it, insert a fresh arrival. This is the
+    // per-request queue cost the engine pays, index maintenance included.
+    let disk = SimDisk::new(
+        &DiskParams::st39133lwv(),
+        TimingPath::Detailed,
+        PositionKnowledge::Perfect,
+        2,
+    )
+    .expect("valid params");
+    for depth in [4usize, 16, 64, 256] {
+        let mut rng = SimRng::seed_from(11);
+        let mut dq: DriveQueue<Entry> = DriveQueue::new(Policy::Rsatf, 3_000);
+        for e in make_queue(depth, 3, &mut rng) {
+            dq.insert(e);
+        }
+        let mut look = LookState::default();
+        let mut now = SimTime::ZERO;
+        bench(&format!("drive_queue_churn/RSATF/{depth}"), || {
+            now += SimDuration::from_micros(200);
+            let (id, _) = dq
+                .pick(
+                    &disk,
+                    black_box(now),
+                    &mut look,
+                    SimDuration::ZERO,
+                    usize::MAX,
+                )
+                .expect("non-empty");
+            let mut e = dq.remove(id).expect("live");
+            for t in &mut e.targets {
+                t.cylinder = rng.below(3_000) as u32;
+                t.angle = rng.unit();
+            }
+            e.at = now;
+            dq.insert(e)
+        });
     }
 }
 
@@ -250,6 +365,51 @@ fn bench_engine_closed_loop() {
     });
 }
 
+fn bench_engine_depth_sweep() {
+    // Whole-engine cost as a function of per-array queue depth. A narrow
+    // shape (1 logical disk, 3-way rotational replication) concentrates the
+    // queue on few spindles, so deep-queue scheduling dominates the profile.
+    let data = 16_000_000u64;
+    let spec = IometerSpec::microbench(data, 1.0);
+    for q in [4usize, 16, 64, 256] {
+        bench(&format!("engine_depth/q{q}"), || {
+            let mut sim = ArraySim::new(
+                EngineConfig::new(Shape::sr_array(1, 3).expect("valid")).with_perfect_knowledge(),
+                data,
+            )
+            .expect("fits");
+            sim.run_closed_loop(black_box(&spec), q, 1_000).completed
+        });
+    }
+}
+
+fn assert_steady_state_alloc_free() {
+    // The scheduler pick path must not allocate once scratch capacity has
+    // grown: the bound-ordered scan reuses `LookState` buffers across calls.
+    let disk = SimDisk::new(
+        &DiskParams::st39133lwv(),
+        TimingPath::Detailed,
+        PositionKnowledge::Perfect,
+        2,
+    )
+    .expect("valid params");
+    let mut rng = SimRng::seed_from(7);
+    let queue = make_queue(256, 3, &mut rng);
+    for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
+        let mut look = LookState::default();
+        assert_allocation_free(&format!("alloc_free/pick/{policy}/256"), 100, || {
+            pick(
+                policy,
+                &disk,
+                black_box(SimTime::from_millis(5)),
+                &queue,
+                &mut look,
+                SimDuration::ZERO,
+            )
+        });
+    }
+}
+
 fn bench_trace_generation() {
     let spec = SyntheticSpec::cello_base();
     bench("generate_cello_1k", || {
@@ -258,12 +418,32 @@ fn bench_trace_generation() {
 }
 
 fn main() {
+    if std::env::var("MIMD_ALLOC_PROFILE").is_ok() {
+        let data = 16_000_000u64;
+        let spec = IometerSpec::microbench(data, 1.0);
+        for q in [4usize, 64] {
+            let mut sim = ArraySim::new(
+                EngineConfig::new(Shape::sr_array(1, 3).expect("valid")).with_perfect_knowledge(),
+                data,
+            )
+            .expect("fits");
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            sim.run_closed_loop(&spec, q, 1_000);
+            let grew = ALLOCATIONS.load(Ordering::Relaxed) - before;
+            println!("engine_depth/q{q}: {grew} allocations / 1000 requests");
+        }
+        return;
+    }
     bench_disk_estimate();
     bench_scheduler_pick();
+    bench_drive_queue_pick();
+    bench_drive_queue_churn();
     bench_layout_translation();
     bench_seek_fit();
     bench_seek_estimation();
     bench_engine_closed_loop();
+    bench_engine_depth_sweep();
     bench_trace_generation();
+    assert_steady_state_alloc_free();
     emit_json();
 }

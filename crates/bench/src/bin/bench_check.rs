@@ -1,0 +1,114 @@
+//! Bench-regression gate: compares a fresh `hot_paths` JSON emission
+//! against a committed baseline and fails if any benchmark regressed
+//! beyond tolerance.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [tolerance]
+//! ```
+//!
+//! Raw nanosecond comparisons across machines are meaningless (a CI
+//! runner is not the box the baseline was recorded on), so the check
+//! first calibrates: it computes the median fresh/baseline ratio over
+//! all shared benchmarks as the machine-speed factor, then flags any
+//! benchmark whose own ratio exceeds `median * (1 + tolerance)`. A
+//! uniform slowdown passes; one bench regressing relative to the rest
+//! fails. Default tolerance is 0.25. Benchmarks only regress if they
+//! also exceed the calibrated baseline by [`NOISE_FLOOR_NS`] — an
+//! absolute floor below which per-iteration timings are dominated by
+//! cache and timer granularity jitter, not code.
+//!
+//! Benchmarks present in only one file are reported but never fail the
+//! check (new benches appear, old ones retire).
+
+use std::process::ExitCode;
+
+/// Absolute slowdown (ns/iter, after machine calibration) below which a
+/// ratio excursion is treated as jitter rather than regression.
+const NOISE_FLOOR_NS: f64 = 50.0;
+
+/// Extracts `[(name, ns_per_iter)]` from the bench suite's JSON shape:
+/// `{"suite":..,"benches":[{"name":"..","ns_per_iter":N},..]}`. A
+/// hand-rolled scan for exactly that fixed, repo-generated schema.
+fn parse(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\":\"") {
+        rest = &rest[at + 8..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(vat) = rest.find("\"ns_per_iter\":") else {
+            break;
+        };
+        let vrest = &rest[vat + 14..];
+        let vend = vrest
+            .find(|c: char| {
+                c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit()
+            })
+            .unwrap_or(vrest.len());
+        if let Ok(v) = vrest[..vend].parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = vrest;
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(base_path), Some(fresh_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: bench_check <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = args
+        .get(3)
+        .map(|s| s.parse().expect("tolerance must be a number"))
+        .unwrap_or(0.25);
+    let read = |p: &str| std::fs::read_to_string(p).unwrap_or_else(|e| panic!("read {p}: {e}"));
+    let base = parse(&read(base_path));
+    let fresh = parse(&read(fresh_path));
+
+    let mut ratios: Vec<(String, f64, f64, f64)> = Vec::new(); // (name, ratio, base, fresh)
+    for (name, f) in &fresh {
+        match base.iter().find(|(n, _)| n == name) {
+            Some((_, b)) if *b > 0.0 => ratios.push((name.clone(), f / b, *b, *f)),
+            _ => println!("  (new)      {name}"),
+        }
+    }
+    for (name, _) in &base {
+        if !fresh.iter().any(|(n, _)| n == name) {
+            println!("  (retired)  {name}");
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!("no shared benchmarks between {base_path} and {fresh_path}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut sorted: Vec<f64> = ratios.iter().map(|(_, r, _, _)| *r).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let limit = median * (1.0 + tolerance);
+    println!(
+        "machine factor (median fresh/baseline): {median:.3}; \
+         per-bench limit: {limit:.3} (tolerance {tolerance:.0}%)",
+        tolerance = tolerance * 100.0
+    );
+
+    let mut failed = false;
+    for (name, r, b, f) in &ratios {
+        let verdict = if *r > limit && f - b * median > NOISE_FLOOR_NS {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  {verdict:9}  {r:6.3}x  {name}");
+    }
+    if failed {
+        eprintln!("bench_check: regression beyond {:.0}%", tolerance * 100.0);
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all within tolerance");
+        ExitCode::SUCCESS
+    }
+}

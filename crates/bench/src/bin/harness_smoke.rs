@@ -52,6 +52,10 @@ fn main() {
     let cells = grid().cells().len();
     println!("harness smoke: {cells} cells, {cores} core(s) available");
 
+    // One discarded pass warms the allocator, page cache, and lazily
+    // initialised tables before anything is timed, so the serial
+    // reference does not absorb the one-time costs.
+    let _ = grid().run_with(1, |c| c).to_json().to_json();
     let t0 = Instant::now();
     let serial = grid().run_with(1, |c| c).to_json().to_json();
     let serial_s = t0.elapsed().as_secs_f64();
@@ -64,6 +68,9 @@ fn main() {
     ])];
     let mut ok = true;
     for threads in [2usize, 4, 8] {
+        // Discarded warmup at this thread count: pool spin-up and
+        // first-touch effects land outside the timed window.
+        let _ = grid().run_with(threads, |c| c).to_json().to_json();
         let t = Instant::now();
         let parallel = grid().run_with(threads, |c| c).to_json().to_json();
         let wall = t.elapsed().as_secs_f64();

@@ -1,0 +1,953 @@
+//! An indexed drive queue: slab-allocated pending requests with incremental
+//! per-policy indexes, so a scheduling pick costs time proportional to the
+//! work it inspects rather than the queue depth.
+//!
+//! [`crate::sched::pick`] is a scan: every decision touches every queued
+//! entry (bounding, heaping), even though arrivals and completions change
+//! the queue by one entry at a time. [`DriveQueue`] moves that work to the
+//! mutation sites:
+//!
+//! - Entries live in a **slab** with stable, generation-tagged
+//!   [`TaskId`]s; queues and indexes store ids, never moved structs.
+//! - **SATF/RSATF** maintain a *rotational bucket index*: every candidate
+//!   (entry × replica) is bucketed by (cylinder band × angle slot). A pick
+//!   walks bands outward from the arm in ascending seek-lower-bound order
+//!   and stops as soon as the next band's bound exceeds the incumbent's
+//!   full cost; within a band, candidates are visited starting from the
+//!   angle slot nearest the current platter phase so good incumbents are
+//!   found early (visit order within a band cannot change the winner — see
+//!   the exactness argument below).
+//! - **LOOK/RLOOK** maintain a sweep index (`BTreeMap` keyed by cylinder):
+//!   the next in-direction cylinder is one ordered lookup.
+//! - **FCFS** maintains an arrival-ordered set: the oldest entry is the
+//!   first element.
+//!
+//! # Exactness
+//!
+//! Each indexed pick returns *exactly* the entry and replica that
+//! [`crate::sched::pick`] would return on the queue's arrival-order
+//! snapshot:
+//!
+//! - Arrival order is tracked explicitly (`order`, always sorted by a
+//!   per-queue monotone sequence number), so the scan's positional
+//!   tie-break `(cost, queue index, candidate)` is reproduced as
+//!   `(cost, seq, candidate)`.
+//! - The SATF walk terminates on the same condition as the scan's
+//!   bound-ordered heap — "stop when the next lower bound exceeds the
+//!   incumbent's cost" — using the *band's* minimum seek distance, which
+//!   lower-bounds every member. Visiting a few extra candidates whose own
+//!   bound exceeds the incumbent is harmless: their cost is at least their
+//!   bound, so they lose outright (cost strictly greater), and the
+//!   tie-break never sees them.
+//! - The angle slot orders visits *within* a band only. All members of a
+//!   band share the same termination bound, so visit order among them
+//!   affects how fast the incumbent improves, never who finally wins.
+//!
+//! Two situations fall outside the index's guarantees, and
+//! [`DriveQueue::pick`] detects both and falls back to the windowed scan:
+//! queues deeper than the scheduling window (the scan only examines the
+//! window prefix, the index spans everything), and drives with track
+//! read-ahead enabled (a potential buffer hit has positioning bound 0
+//! regardless of seek distance, which breaks band-order monotonicity).
+//!
+//! The equivalence tests at the bottom drive randomized queues through
+//! both implementations and require identical picks — entry, replica, and
+//! sweep-direction side effects — across every policy.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use mimd_disk::{mod1, SimDisk};
+use mimd_sim::{SimDuration, SimTime};
+
+use crate::sched::{self, LookState, Policy, Schedulable};
+
+/// Cylinders per band of the SATF bucket index.
+const BAND_CYLS: u32 = 16;
+/// Angle slots per band (within-band visit ordering).
+const NSLOTS: usize = 16;
+/// Safety margin for the rotational lower-bound prune in
+/// [`DriveQueue::visit_band`]: candidates within this much of the
+/// incumbent's cost are always evaluated. The engine's rotational waits
+/// round float phase arithmetic to integer nanoseconds, so the analytic
+/// bound can overshoot the true cost by under a nanosecond; a microsecond
+/// of slop (≲0.02% of a rotation) makes the prune unconditionally sound
+/// while giving up almost none of its power.
+const ROT_PRUNE_SLOP_NS: u64 = 1_000;
+
+/// A stable handle to a slab-resident task.
+///
+/// The generation tag makes stale handles harmless: removing a task and
+/// reusing its slot bumps the generation, so an old id no longer matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TaskId {
+    slot: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot<S> {
+    task: Option<S>,
+    gen: u32,
+    seq: u64,
+}
+
+/// One bucketed candidate of the SATF index.
+#[derive(Debug, Clone)]
+struct BandEntry {
+    seq: u64,
+    slot: u32,
+    cand: u8,
+    /// Angle slot of the candidate (visit-ordering hint, not correctness).
+    aslot: u8,
+    /// Memoised effective target phase ([`SimDisk::sched_phase`]), `NaN`
+    /// until the candidate is first evaluated. The phase depends only on
+    /// immutable drive state, so it is computed once per queued candidate
+    /// instead of once per evaluation, and doubles as the input to the
+    /// rotational lower-bound prune in [`DriveQueue::visit_band`].
+    phase: Cell<f64>,
+}
+
+/// A drive queue with incremental per-policy indexes. See the module docs.
+#[derive(Debug)]
+pub struct DriveQueue<S: Schedulable> {
+    policy: Policy,
+    cylinders: u32,
+    slots: Vec<Slot<S>>,
+    free: Vec<u32>,
+    /// Live ids in arrival order (ascending `seq`).
+    order: Vec<TaskId>,
+    next_seq: u64,
+    /// SATF/RSATF: per-band candidate buckets, allocated on first use.
+    bands: Vec<Vec<BandEntry>>,
+    /// One bit per band: set iff the band bucket is non-empty.
+    band_bits: Vec<u64>,
+    /// LOOK/RLOOK: cylinder → (enqueued ns, seq, slot) of primary targets.
+    sweep: BTreeMap<u32, BTreeSet<(u64, u64, u32)>>,
+    /// FCFS: (enqueued ns, seq, slot), oldest first.
+    fcfs: BTreeSet<(u64, u64, u32)>,
+}
+
+impl<S: Schedulable> DriveQueue<S> {
+    /// Creates an empty queue for a disk with `cylinders` cylinders,
+    /// indexed for `policy`.
+    pub fn new(policy: Policy, cylinders: u32) -> Self {
+        DriveQueue {
+            policy,
+            cylinders: cylinders.max(1),
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            next_seq: 0,
+            bands: Vec::new(),
+            band_bits: Vec::new(),
+            sweep: BTreeMap::new(),
+            fcfs: BTreeSet::new(),
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The task behind `id`, if it is still queued.
+    pub fn get(&self, id: TaskId) -> Option<&S> {
+        let s = self.slots.get(id.slot as usize)?;
+        if s.gen != id.gen {
+            return None;
+        }
+        s.task.as_ref()
+    }
+
+    /// Live ids in arrival order.
+    pub fn ids(&self) -> &[TaskId] {
+        &self.order
+    }
+
+    /// Drops every queued task, invalidating all outstanding ids while
+    /// keeping the queue's allocations for reuse.
+    pub fn clear(&mut self) {
+        for id in self.order.drain(..) {
+            let s = &mut self.slots[id.slot as usize];
+            s.task = None;
+            s.gen = s.gen.wrapping_add(1);
+            self.free.push(id.slot);
+        }
+        for bucket in &mut self.bands {
+            bucket.clear();
+        }
+        self.band_bits.fill(0);
+        self.sweep.clear();
+        self.fcfs.clear();
+    }
+
+    /// Inserts a task at the back of the arrival order.
+    pub fn insert(&mut self, task: S) -> TaskId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot {
+                    task: None,
+                    gen: 0,
+                    seq: 0,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let sref = &mut self.slots[slot as usize];
+        sref.task = Some(task);
+        sref.seq = seq;
+        let id = TaskId {
+            slot,
+            gen: sref.gen,
+        };
+        self.order.push(id);
+        self.index_insert(id, seq);
+        id
+    }
+
+    /// Removes and returns the task behind `id`; `None` if the id is stale.
+    pub fn remove(&mut self, id: TaskId) -> Option<S> {
+        let s = self.slots.get(id.slot as usize)?;
+        if s.gen != id.gen || s.task.is_none() {
+            return None;
+        }
+        let seq = s.seq;
+        mimd_sim::sim_invariant!(
+            self.order.len() < 2
+                || self.order.windows(2).all(
+                    |w| self.slots[w[0].slot as usize].seq < self.slots[w[1].slot as usize].seq
+                ),
+            "drive-queue arrival order out of seq order"
+        );
+        // `order` is sorted by seq, so the position is a binary search.
+        let pos = self
+            .order
+            .binary_search_by_key(&seq, |i| self.slots[i.slot as usize].seq)
+            .ok()?;
+        self.index_remove(id, seq);
+        self.order.remove(pos);
+        let sref = &mut self.slots[id.slot as usize];
+        sref.gen = sref.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        sref.task.take()
+    }
+
+    /// Mutates the task behind `id` in place, keeping its arrival position,
+    /// and re-indexes it (targets and enqueued time may have changed).
+    /// Returns whether the id was live.
+    pub fn replace_with(&mut self, id: TaskId, f: impl FnOnce(&mut S)) -> bool {
+        let Some(s) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if s.gen != id.gen || s.task.is_none() {
+            return false;
+        }
+        let seq = s.seq;
+        self.index_remove(id, seq);
+        if let Some(task) = self.slots[id.slot as usize].task.as_mut() {
+            f(task);
+        }
+        self.index_insert(id, seq);
+        true
+    }
+
+    /// Picks the next task for an idle disk exactly as
+    /// [`crate::sched::pick`] would on the arrival-order prefix of at most
+    /// `window` entries, returning the winning id and replica index.
+    ///
+    /// Uses the policy's incremental index when the whole queue fits in the
+    /// window (and, for SATF/RSATF, the drive's read-ahead buffer is off);
+    /// otherwise falls back to the windowed scan.
+    pub fn pick(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        look: &mut LookState,
+        slack: SimDuration,
+        window: usize,
+    ) -> Option<(TaskId, usize)> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if self.order.len() > window {
+            return self.pick_scan(disk, now, look, slack, window);
+        }
+        match self.policy {
+            Policy::Fcfs => self.pick_fcfs(disk, now, slack),
+            Policy::Look | Policy::Rlook => self.pick_look(disk, now, look, slack),
+            Policy::Satf | Policy::Rsatf => {
+                if disk.read_ahead_enabled() {
+                    self.pick_scan(disk, now, look, slack, window)
+                } else {
+                    self.pick_satf(disk, now, slack)
+                }
+            }
+        }
+    }
+
+    /// The fallback: materialise the window prefix and run the scan.
+    fn pick_scan(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        look: &mut LookState,
+        slack: SimDuration,
+        window: usize,
+    ) -> Option<(TaskId, usize)> {
+        let window = window.min(self.order.len());
+        let refs: Vec<&S> = self.order[..window]
+            .iter()
+            .map(|&id| {
+                self.slots[id.slot as usize]
+                    .task
+                    .as_ref()
+                    .expect("order holds live ids") // simlint: allow(panic) — queue invariant
+            })
+            .collect();
+        let p = sched::pick(self.policy, disk, now, &refs, look, slack)?;
+        Some((self.order[p.queue_index], p.candidate))
+    }
+
+    fn pick_fcfs(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        slack: SimDuration,
+    ) -> Option<(TaskId, usize)> {
+        let &(_, seq, slot) = self.fcfs.iter().next()?;
+        let id = self.id_at(slot, seq)?;
+        let task = self.get(id)?;
+        Some((id, sched::best_candidate(disk, now, task, true, slack)))
+    }
+
+    fn pick_look(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        look: &mut LookState,
+        slack: SimDuration,
+    ) -> Option<(TaskId, usize)> {
+        let head = disk.arm_cylinder();
+        let aware = self.policy.replica_aware();
+        // One flip allowed, exactly like the scan's end-of-stroke turn.
+        for _ in 0..2 {
+            let hit = if look.upward {
+                self.sweep.range(head..).next()
+            } else {
+                self.sweep.range(..=head).next_back()
+            };
+            if let Some((_, set)) = hit {
+                let &(_, seq, slot) = set.iter().next()?;
+                let id = self.id_at(slot, seq)?;
+                let task = self.get(id)?;
+                return Some((id, sched::best_candidate(disk, now, task, aware, slack)));
+            }
+            look.upward = !look.upward;
+        }
+        None
+    }
+
+    fn pick_satf(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        slack: SimDuration,
+    ) -> Option<(TaskId, usize)> {
+        let arm = disk.arm_cylinder();
+        let arm_band = (arm / BAND_CYLS) as usize;
+        let nbands = self.band_count();
+        // Platter phase as an angle slot: the starting point for
+        // within-band visit ordering.
+        let ref_slot = Self::angle_slot(disk.angle_at(now));
+        let mut best: Option<(u64, u64, u8, u32)> = None; // (cost, seq, cand, slot)
+        if self.band_occupied(arm_band) {
+            self.visit_band(disk, now, slack, arm_band, ref_slot, 0, &mut best);
+        }
+        // Walk outward, merging the up and down cursors by seek bound.
+        // Each cursor's bound is computed once, when it advances.
+        let bound_of = |b: usize| disk.seek_bound_ns(self.band_min_dist(b, arm));
+        let mut up = self.next_band_at_or_above(arm_band + 1);
+        let mut bound_up = up.map(&bound_of);
+        let mut down = if arm_band > 0 {
+            self.next_band_at_or_below(arm_band - 1)
+        } else {
+            None
+        };
+        let mut bound_down = down.map(&bound_of);
+        loop {
+            let (band, bound, is_up) = match (up, down) {
+                (None, None) => break,
+                (Some(b), None) => (b, bound_up.unwrap_or(u64::MAX), true),
+                (None, Some(b)) => (b, bound_down.unwrap_or(u64::MAX), false),
+                (Some(bu), Some(bd)) => {
+                    let (u, d) = (bound_up.unwrap_or(u64::MAX), bound_down.unwrap_or(u64::MAX));
+                    // Ties go upward: a fixed rule keeps the walk
+                    // deterministic (either order would be exact).
+                    if u <= d {
+                        (bu, u, true)
+                    } else {
+                        (bd, d, false)
+                    }
+                }
+            };
+            if let Some((bcost, _, _, _)) = best {
+                if bound > bcost {
+                    break; // Every remaining band's bound is at least this.
+                }
+            }
+            self.visit_band(disk, now, slack, band, ref_slot, bound, &mut best);
+            if is_up {
+                up = if band + 1 < nbands {
+                    self.next_band_at_or_above(band + 1)
+                } else {
+                    None
+                };
+                bound_up = up.map(&bound_of);
+            } else {
+                down = if band > 0 {
+                    self.next_band_at_or_below(band - 1)
+                } else {
+                    None
+                };
+                bound_down = down.map(&bound_of);
+            }
+        }
+        let (_, seq, cand, slot) = best?;
+        let id = self.id_at(slot, seq)?;
+        Some((id, cand as usize))
+    }
+
+    /// Evaluates every candidate in a band against the incumbent, visiting
+    /// from the angle slot nearest `ref_slot` onward (wrap-around).
+    ///
+    /// `bound` is the band's seek lower bound (`SimDisk::seek_bound_ns` of
+    /// its minimum arm distance). Candidates with a known phase are first
+    /// checked against a rotational lower bound: the earliest any of them
+    /// can arrive is `now + overhead + bound`, and first-hit times on a
+    /// uniformly rotating platter are monotone in the arrival instant, so
+    /// `bound + forward-wait-from-the-floor` never exceeds the candidate's
+    /// true cost (the slack penalty only adds). [`ROT_PRUNE_SLOP_NS`]
+    /// absorbs the sub-nanosecond rounding between this bound's float
+    /// arithmetic and the engine's rounded integer waits, so a candidate is
+    /// skipped only when it loses by a wide margin — equal-cost candidates
+    /// are always evaluated and the `(cost, seq, cand)` tie-break is
+    /// preserved exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_band(
+        &self,
+        disk: &SimDisk,
+        now: SimTime,
+        slack: SimDuration,
+        band: usize,
+        ref_slot: u8,
+        bound: u64,
+        best: &mut Option<(u64, u64, u8, u32)>,
+    ) {
+        let bucket = &self.bands[band];
+        let floor = disk.arrival_phase_floor(now, bound);
+        let period = disk.rotation_ns() as f64;
+        // Entries are kept sorted by aslot; start at the first entry whose
+        // slot is at or past the platter phase, then wrap.
+        let pivot = bucket.partition_point(|e| e.aslot < ref_slot);
+        let n = bucket.len();
+        for k in 0..n {
+            let e = &bucket[(pivot + k) % n];
+            let mut phase = e.phase.get();
+            if !phase.is_nan() {
+                if let Some((bcost, _, _, _)) = *best {
+                    // Truncating the float wait only lowers the bound.
+                    let rot_lb = (mod1(phase - floor) * period) as u64;
+                    if bound.saturating_add(rot_lb) > bcost.saturating_add(ROT_PRUNE_SLOP_NS) {
+                        continue;
+                    }
+                }
+            }
+            let Some(task) = self
+                .slots
+                .get(e.slot as usize)
+                .and_then(|s| (s.seq == e.seq).then_some(s.task.as_ref()).flatten())
+            else {
+                continue;
+            };
+            let target = &task.candidates()[e.cand as usize];
+            if phase.is_nan() {
+                phase = disk.sched_phase(target);
+                e.phase.set(phase);
+            }
+            let cost =
+                sched::candidate_cost_at_phase(disk, now, target, task.is_write(), slack, phase);
+            let wins = match *best {
+                None => true,
+                Some((bcost, bseq, bcand, _)) => {
+                    cost < bcost || (cost == bcost && (e.seq, e.cand) < (bseq, bcand))
+                }
+            };
+            if wins {
+                *best = Some((cost, e.seq, e.cand, e.slot));
+            }
+        }
+    }
+
+    fn id_at(&self, slot: u32, seq: u64) -> Option<TaskId> {
+        let s = self.slots.get(slot as usize)?;
+        if s.seq != seq || s.task.is_none() {
+            return None;
+        }
+        Some(TaskId { slot, gen: s.gen })
+    }
+
+    fn angle_slot(angle: f64) -> u8 {
+        (((mod1(angle)) * NSLOTS as f64) as usize).min(NSLOTS - 1) as u8
+    }
+
+    fn band_count(&self) -> usize {
+        self.cylinders.div_ceil(BAND_CYLS) as usize
+    }
+
+    fn band_min_dist(&self, band: usize, arm: u32) -> u32 {
+        let lo = band as u32 * BAND_CYLS;
+        let hi = (lo + BAND_CYLS - 1).min(self.cylinders - 1);
+        if arm < lo {
+            lo - arm
+        } else {
+            arm.saturating_sub(hi)
+        }
+    }
+
+    fn band_occupied(&self, band: usize) -> bool {
+        self.band_bits
+            .get(band / 64)
+            .is_some_and(|w| w & (1 << (band % 64)) != 0)
+    }
+
+    fn next_band_at_or_above(&self, from: usize) -> Option<usize> {
+        let nwords = self.band_bits.len();
+        let (mut w, bit) = (from / 64, from % 64);
+        if w >= nwords {
+            return None;
+        }
+        let mut word = self.band_bits[w] & (!0u64 << bit);
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= nwords {
+                return None;
+            }
+            word = self.band_bits[w];
+        }
+    }
+
+    fn next_band_at_or_below(&self, from: usize) -> Option<usize> {
+        let (mut w, bit) = (from / 64, from % 64);
+        if w >= self.band_bits.len() {
+            return None;
+        }
+        let mask = if bit == 63 {
+            !0u64
+        } else {
+            (1u64 << (bit + 1)) - 1
+        };
+        let mut word = self.band_bits[w] & mask;
+        loop {
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.band_bits[w];
+        }
+    }
+
+    fn index_insert(&mut self, id: TaskId, seq: u64) {
+        // Move the task out of its slot for the duration: the index
+        // structures and the slab are both `self`, and a by-value move is
+        // free (no clone) while keeping borrows disjoint and the hot path
+        // allocation-free.
+        let Some(task) = self.slots[id.slot as usize].task.take() else {
+            return;
+        };
+        match self.policy {
+            Policy::Fcfs => {
+                self.fcfs.insert((task.enqueued().as_nanos(), seq, id.slot));
+            }
+            Policy::Look | Policy::Rlook => {
+                let cyl = task.candidates()[0].cylinder;
+                let enq = task.enqueued().as_nanos();
+                let slot = id.slot;
+                self.sweep.entry(cyl).or_default().insert((enq, seq, slot));
+            }
+            Policy::Satf | Policy::Rsatf => {
+                if self.bands.is_empty() {
+                    let n = self.band_count();
+                    self.bands = (0..n).map(|_| Vec::new()).collect();
+                    self.band_bits = vec![0; n.div_ceil(64)];
+                }
+                let limit = if self.policy.replica_aware() {
+                    task.candidates().len()
+                } else {
+                    1
+                };
+                for (c, t) in task.candidates().iter().take(limit).enumerate() {
+                    let band = ((t.cylinder.min(self.cylinders - 1)) / BAND_CYLS) as usize;
+                    let e = BandEntry {
+                        seq,
+                        slot: id.slot,
+                        cand: c as u8,
+                        aslot: Self::angle_slot(t.angle),
+                        phase: Cell::new(f64::NAN),
+                    };
+                    let bucket = &mut self.bands[band];
+                    // Keep sorted by aslot (stable: equal slots stay in
+                    // insertion order, which is ascending seq).
+                    let at = bucket.partition_point(|x| x.aslot <= e.aslot);
+                    bucket.insert(at, e);
+                    self.band_bits[band / 64] |= 1 << (band % 64);
+                }
+            }
+        }
+        self.slots[id.slot as usize].task = Some(task);
+    }
+
+    fn index_remove(&mut self, id: TaskId, seq: u64) {
+        let Some(task) = self.slots[id.slot as usize].task.take() else {
+            return;
+        };
+        match self.policy {
+            Policy::Fcfs => {
+                self.fcfs
+                    .remove(&(task.enqueued().as_nanos(), seq, id.slot));
+            }
+            Policy::Look | Policy::Rlook => {
+                let cyl = task.candidates()[0].cylinder;
+                let enq = task.enqueued().as_nanos();
+                if let Some(set) = self.sweep.get_mut(&cyl) {
+                    set.remove(&(enq, seq, id.slot));
+                    if set.is_empty() {
+                        self.sweep.remove(&cyl);
+                    }
+                }
+            }
+            Policy::Satf | Policy::Rsatf => {
+                let limit = if self.policy.replica_aware() {
+                    task.candidates().len()
+                } else {
+                    1
+                };
+                for t in task.candidates().iter().take(limit) {
+                    let band = ((t.cylinder.min(self.cylinders - 1)) / BAND_CYLS) as usize;
+                    let bucket = &mut self.bands[band];
+                    if let Some(at) = bucket
+                        .iter()
+                        .position(|x| x.seq == seq && x.slot == id.slot)
+                    {
+                        bucket.remove(at);
+                    }
+                    if bucket.is_empty() {
+                        self.band_bits[band / 64] &= !(1 << (band % 64));
+                    }
+                }
+            }
+        }
+        self.slots[id.slot as usize].task = Some(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_disk::{DiskParams, PositionKnowledge, Target, TimingPath};
+    use mimd_sim::SimRng;
+
+    #[derive(Debug, Clone)]
+    struct Entry {
+        candidates: Vec<Target>,
+        write: bool,
+        at: SimTime,
+    }
+
+    impl Schedulable for Entry {
+        fn candidates(&self) -> &[Target] {
+            &self.candidates
+        }
+        fn is_write(&self) -> bool {
+            self.write
+        }
+        fn enqueued(&self) -> SimTime {
+            self.at
+        }
+    }
+
+    fn disk() -> SimDisk {
+        SimDisk::new(
+            &DiskParams::st39133lwv(),
+            TimingPath::Detailed,
+            PositionKnowledge::Perfect,
+            7,
+        )
+        .unwrap()
+    }
+
+    fn random_entry(rng: &mut SimRng, cyls: u32, max_at_us: u64) -> Entry {
+        let dr = 1 + rng.below(4) as usize;
+        Entry {
+            candidates: (0..dr)
+                .map(|k| Target {
+                    cylinder: rng.below(cyls as u64) as u32,
+                    surface: k as u32,
+                    angle: rng.unit(),
+                    sectors: 8,
+                })
+                .collect(),
+            write: rng.below(4) == 0,
+            at: SimTime::from_micros(rng.below(max_at_us.max(1))),
+        }
+    }
+
+    fn check_index(dq: &DriveQueue<Entry>, mirror: &[Entry], ids: &[TaskId]) {
+        if !matches!(dq.policy, Policy::Satf | Policy::Rsatf) || dq.bands.is_empty() {
+            return;
+        }
+        let mut want: Vec<(usize, u64, u32, u8)> = Vec::new(); // (band, seq, slot, cand)
+        for (i, e) in mirror.iter().enumerate() {
+            let id = ids[i];
+            let seq = dq.slots[id.slot as usize].seq;
+            let limit = if dq.policy.replica_aware() {
+                e.candidates.len()
+            } else {
+                1
+            };
+            for (c, t) in e.candidates.iter().take(limit).enumerate() {
+                let band = ((t.cylinder.min(dq.cylinders - 1)) / BAND_CYLS) as usize;
+                want.push((band, seq, id.slot, c as u8));
+            }
+        }
+        let mut got: Vec<(usize, u64, u32, u8)> = Vec::new();
+        for (b, bucket) in dq.bands.iter().enumerate() {
+            assert_eq!(
+                dq.band_occupied(b),
+                !bucket.is_empty(),
+                "band bit desync at {b}"
+            );
+            for e in bucket {
+                got.push((b, e.seq, e.slot, e.cand));
+            }
+        }
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "band index desynced");
+    }
+
+    /// The load-bearing equivalence property: on every randomized queue —
+    /// built through interleaved inserts, removals, and in-place updates —
+    /// the indexed pick must equal the windowed scan of `sched::pick`:
+    /// same entry, same replica, same sweep-direction side effect.
+    #[test]
+    fn indexed_pick_matches_scan_on_randomized_queues() {
+        let cyls = DiskParams::st39133lwv().total_cylinders();
+        let policies = [
+            Policy::Fcfs,
+            Policy::Look,
+            Policy::Satf,
+            Policy::Rlook,
+            Policy::Rsatf,
+        ];
+        mimd_sim::check::check_cases("indexed pick equals scan", 40, |case, rng| {
+            let mut d = disk();
+            // Move the head somewhere interesting.
+            let park = Target {
+                cylinder: rng.below(cyls as u64) as u32,
+                surface: 0,
+                angle: rng.unit(),
+                sectors: 8,
+            };
+            let _ = d.begin(SimTime::ZERO, &park, false);
+            let now = d.busy_until();
+            let slack = if case % 3 == 0 {
+                SimDuration::from_micros(rng.below(2_000))
+            } else {
+                SimDuration::ZERO
+            };
+            // A small window sometimes, to exercise the fallback boundary.
+            let window = if case % 4 == 0 { 8 } else { 128 };
+            for policy in policies {
+                let mut dq: DriveQueue<Entry> = DriveQueue::new(policy, cyls);
+                let mut mirror: Vec<Entry> = Vec::new();
+                let mut ids: Vec<TaskId> = Vec::new();
+                let upward = rng.below(2) == 0;
+                let mut look_dq = LookState::default();
+                let mut look_scan = LookState::default();
+                look_dq.upward = upward;
+                look_scan.upward = upward;
+                for step in 0..60 {
+                    match rng.below(10) {
+                        // Mostly inserts so queues get deep.
+                        0..=5 => {
+                            let e = random_entry(rng, cyls, 1 + step * 10);
+                            ids.push(dq.insert(e.clone()));
+                            mirror.push(e);
+                            check_index(&dq, &mirror, &ids);
+                        }
+                        6 => {
+                            if !mirror.is_empty() {
+                                let at = rng.below(mirror.len() as u64) as usize;
+                                let got = dq.remove(ids.remove(at));
+                                mirror.remove(at);
+                                assert!(got.is_some(), "live id must remove");
+                                check_index(&dq, &mirror, &ids);
+                            }
+                        }
+                        7 => {
+                            // Coalesce-style in-place update: new targets and
+                            // enqueued time, same arrival position.
+                            if !mirror.is_empty() {
+                                let at = rng.below(mirror.len() as u64) as usize;
+                                let e = random_entry(rng, cyls, 1 + step * 10);
+                                let ok = dq.replace_with(ids[at], |t| {
+                                    t.candidates = e.candidates.clone();
+                                    t.write = e.write;
+                                    t.at = e.at;
+                                });
+                                assert!(ok);
+                                mirror[at] = e;
+                                check_index(&dq, &mirror, &ids);
+                            }
+                        }
+                        _ => {
+                            let w = window.min(mirror.len());
+                            let want =
+                                sched::pick(policy, &d, now, &mirror[..w], &mut look_scan, slack)
+                                    .map(|p| (ids[p.queue_index], p.candidate));
+                            let got = dq.pick(&d, now, &mut look_dq, slack, window);
+                            assert_eq!(
+                                got,
+                                want,
+                                "policy {policy}, step {step}, depth {}",
+                                mirror.len()
+                            );
+                            assert_eq!(look_dq.upward, look_scan.upward, "sweep diverged");
+                        }
+                    }
+                }
+                // Drain by repeated pick+remove: full agreement to empty.
+                loop {
+                    let w = window.min(mirror.len());
+                    let want = sched::pick(policy, &d, now, &mirror[..w], &mut look_scan, slack)
+                        .map(|p| (p.queue_index, p.candidate));
+                    let got = dq.pick(&d, now, &mut look_dq, slack, window);
+                    match (got, want) {
+                        (None, None) => break,
+                        (Some((id, c)), Some((qi, wc))) => {
+                            assert_eq!((id, c), (ids[qi], wc), "drain diverged ({policy})");
+                            assert!(dq.remove(id).is_some());
+                            ids.remove(qi);
+                            mirror.remove(qi);
+                        }
+                        (g, w) => panic!("presence diverged ({policy}): {g:?} vs {w:?}"),
+                    }
+                }
+                assert!(dq.is_empty());
+            }
+        });
+    }
+
+    /// Read-ahead drives must take the fallback path (a potential buffer
+    /// hit has bound 0 at any distance) and still agree with the scan.
+    #[test]
+    fn read_ahead_falls_back_and_matches() {
+        let cyls = DiskParams::st39133lwv().total_cylinders();
+        let mut d = disk();
+        d.set_read_ahead(true);
+        let warm = Target {
+            cylinder: 1_234,
+            surface: 2,
+            angle: 0.3,
+            sectors: 8,
+        };
+        let _ = d.begin(SimTime::ZERO, &warm, false);
+        let now = d.busy_until();
+        let mut rng = SimRng::seed_from(0xAB5);
+        for policy in [Policy::Satf, Policy::Rsatf] {
+            let mut dq: DriveQueue<Entry> = DriveQueue::new(policy, cyls);
+            let mut mirror = Vec::new();
+            let mut ids = Vec::new();
+            for _ in 0..24 {
+                let mut e = random_entry(&mut rng, cyls, 50);
+                // Make some candidates buffered-track hits.
+                if rng.below(3) == 0 {
+                    e.candidates[0] = warm;
+                    e.write = false;
+                }
+                ids.push(dq.insert(e.clone()));
+                mirror.push(e);
+            }
+            let mut look_a = LookState::default();
+            let mut look_b = LookState::default();
+            let want = sched::pick(policy, &d, now, &mirror, &mut look_b, SimDuration::ZERO)
+                .map(|p| (ids[p.queue_index], p.candidate));
+            let got = dq.pick(&d, now, &mut look_a, SimDuration::ZERO, 128);
+            assert_eq!(got, want, "{policy}");
+        }
+    }
+
+    #[test]
+    fn stale_ids_are_inert() {
+        let mut dq: DriveQueue<Entry> = DriveQueue::new(Policy::Rsatf, 100);
+        let e = Entry {
+            candidates: vec![Target {
+                cylinder: 5,
+                surface: 0,
+                angle: 0.5,
+                sectors: 8,
+            }],
+            write: false,
+            at: SimTime::ZERO,
+        };
+        let id = dq.insert(e.clone());
+        assert!(dq.remove(id).is_some());
+        // Double-remove is a no-op, and a recycled slot gets a fresh gen.
+        assert!(dq.remove(id).is_none());
+        assert!(!dq.replace_with(id, |_| {}));
+        let id2 = dq.insert(e);
+        assert_eq!(id2.slot, id.slot, "slot is recycled");
+        assert_ne!(id2.gen, id.gen, "generation advances");
+        assert!(dq.get(id).is_none());
+        assert!(dq.get(id2).is_some());
+    }
+
+    #[test]
+    fn arrival_order_survives_middle_removals() {
+        let mut dq: DriveQueue<Entry> = DriveQueue::new(Policy::Fcfs, 100);
+        let mk = |at: u64| Entry {
+            candidates: vec![Target {
+                cylinder: 1,
+                surface: 0,
+                angle: 0.1,
+                sectors: 8,
+            }],
+            write: false,
+            at: SimTime::from_micros(at),
+        };
+        let a = dq.insert(mk(3));
+        let b = dq.insert(mk(1));
+        let c = dq.insert(mk(2));
+        assert_eq!(dq.ids(), &[a, b, c]);
+        assert!(dq.remove(b).is_some());
+        assert_eq!(dq.ids(), &[a, c]);
+        let d2 = dq.insert(mk(0));
+        assert_eq!(dq.ids(), &[a, c, d2]);
+        assert_eq!(dq.len(), 3);
+    }
+}

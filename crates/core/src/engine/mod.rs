@@ -22,7 +22,7 @@
 pub mod cache;
 pub mod report;
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mimd_disk::DiskParams;
 use mimd_disk::{Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath};
@@ -30,10 +30,11 @@ use mimd_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mimd_workload::{IometerSpec, Op, Trace};
 
 use crate::config::Shape;
+use crate::dqueue::{DriveQueue, TaskId};
 use crate::layout::{
     Fragment, Layout, LayoutError, Replica, ReplicaPlacement, DEFAULT_STRIPE_UNIT,
 };
-use crate::sched::{pick, LookState, Policy, Schedulable};
+use crate::sched::{LookState, Policy, Schedulable};
 
 use cache::LruCache;
 use report::RunReport;
@@ -178,8 +179,28 @@ impl EngineConfig {
 /// scheduling cost finite in saturated (beyond-knee) open-loop runs.
 const SCHED_WINDOW: usize = 128;
 
-/// Per-mirror replica groups of one fragment: `(disk, its Dr replicas)`.
-type MirrorGroups = Vec<(usize, Vec<Replica>)>;
+/// Recycled task shells kept at most this many; beyond it, completed
+/// tasks drop their buffers instead of hoarding them.
+const TASK_POOL_CAP: usize = 256;
+
+/// Compacts `reps[start..]` — runs of `dr` replicas sharing one disk —
+/// down to the runs whose disk is still alive, preserving order.
+fn compact_live_groups(reps: &mut Vec<Replica>, start: usize, dr: usize, dead: &[bool]) {
+    let mut w = start;
+    let mut r = start;
+    while r < reps.len() {
+        if !dead[reps[r].disk] {
+            if w != r {
+                for k in 0..dr {
+                    reps[w + k] = reps[r + k];
+                }
+            }
+            w += dr;
+        }
+        r += dr;
+    }
+    reps.truncate(w);
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TaskKind {
@@ -207,6 +228,23 @@ struct PendingTask {
     key: (u64, u8, u8),
 }
 
+impl PendingTask {
+    /// An empty shell for the recycling pool.
+    fn shell() -> PendingTask {
+        PendingTask {
+            logical: 0,
+            frag: Fragment { lbn: 0, sectors: 0 },
+            write: false,
+            kind: TaskKind::Read,
+            targets: Vec::new(),
+            meta: Vec::new(),
+            enqueued: SimTime::ZERO,
+            dup: None,
+            key: (0, 0, 0),
+        }
+    }
+}
+
 impl Schedulable for PendingTask {
     fn candidates(&self) -> &[Target] {
         &self.targets
@@ -228,6 +266,51 @@ struct Logical {
     sectors: u32,
     /// Whether any copy of this request was lost to a disk failure.
     failed: bool,
+}
+
+/// Live logical requests, addressed by their sequential id.
+///
+/// Ids are issued monotonically, so the live set always sits in a
+/// contiguous id window: a ring of `Option<Logical>` slots indexed by
+/// `id - base` gives O(1) insert/lookup/remove with no per-entry node
+/// allocation (the previous `BTreeMap` cost one node split per ~handful
+/// of requests on the hot path).
+#[derive(Debug, Default)]
+struct LogicalTable {
+    base: u64,
+    slots: VecDeque<Option<Logical>>,
+    live: usize,
+}
+
+impl LogicalTable {
+    fn insert(&mut self, id: u64, l: Logical) {
+        debug_assert_eq!(id, self.base + self.slots.len() as u64);
+        self.slots.push_back(Some(l));
+        self.live += 1;
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut Logical> {
+        let idx = id.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Logical> {
+        let idx = id.checked_sub(self.base)? as usize;
+        let l = self.slots.get_mut(idx)?.take();
+        if l.is_some() {
+            self.live -= 1;
+            // Trim the drained prefix so the window tracks the live ids.
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        l
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
 }
 
 #[derive(Debug)]
@@ -273,12 +356,19 @@ pub struct ArraySim {
     cfg: EngineConfig,
     layout: Layout,
     disks: Vec<SimDisk>,
-    fg: Vec<Vec<PendingTask>>,
-    delayed: Vec<Vec<PendingTask>>,
+    fg: Vec<DriveQueue<PendingTask>>,
+    delayed: Vec<DriveQueue<PendingTask>>,
+    /// Mirror-duplicate tags per disk: (duplicate generation, queued id).
+    /// Purged lazily at dispatch time — `dispatch_mirrored`'s idle test
+    /// must keep seeing the unpurged queue.
+    dup_tags: Vec<Vec<(u64, TaskId)>>,
+    /// Delayed-write coalesce index per disk: replica key → queued id
+    /// (maintained only when `coalesce_delayed` is on).
+    delayed_keys: Vec<BTreeMap<(u64, u8, u8), TaskId>>,
     look: Vec<LookState>,
     inflight: Vec<Option<InFlight>>,
     events: EventQueue<Event>,
-    logicals: BTreeMap<u64, Logical>,
+    logicals: LogicalTable,
     next_logical: u64,
     dup_started: BTreeSet<u64>,
     next_dup: u64,
@@ -293,6 +383,21 @@ pub struct ArraySim {
     pending_failures: Vec<(SimTime, usize)>,
     /// Reusable buffer for the multi-replica write chain in dispatch.
     write_scratch: Vec<Target>,
+    /// Reusable fragment buffer for `submit`.
+    frag_scratch: Vec<Fragment>,
+    /// Flat replica-group buffer for the request being submitted (runs of
+    /// `Dr` replicas per mirror disk, dead groups compacted away).
+    plan_replicas: Vec<Replica>,
+    /// Per-fragment plan: `(fragment, start, len)` into `plan_replicas`.
+    plan_scratch: Vec<(Fragment, u32, u32)>,
+    /// Flat replica buffer for completion/rehoming paths.
+    group_scratch: Vec<Replica>,
+    /// Disks touched during one submit (sorted+deduped before dispatch).
+    touched_scratch: Vec<usize>,
+    /// Recycled task shells: completed tasks return here with their
+    /// target/meta buffers intact, so steady-state task creation does not
+    /// allocate.
+    task_pool: Vec<PendingTask>,
 }
 
 impl ArraySim {
@@ -335,18 +440,26 @@ impl ArraySim {
             .as_ref()
             .map(|c| c.hit_time)
             .unwrap_or(SimDuration::ZERO);
+        let cylinders = geometry.total_cylinders();
+        // Disk-completion events land within a few rotations of "now"; a
+        // calendar wheel sized to that horizon makes push/pop O(1).
+        let horizon_ns = disks.first().map_or(1 << 24, |d| 4 * d.rotation_ns());
         Ok(ArraySim {
-            cfg,
             layout,
             disks,
-            // One in-flight op plus a scheduling window per disk is the
-            // steady-state shape; pre-size so dispatch never reallocates.
-            fg: (0..n).map(|_| Vec::with_capacity(SCHED_WINDOW)).collect(),
-            delayed: (0..n).map(|_| Vec::with_capacity(SCHED_WINDOW)).collect(),
+            fg: (0..n)
+                .map(|_| DriveQueue::new(cfg.policy, cylinders))
+                .collect(),
+            delayed: (0..n)
+                .map(|_| DriveQueue::new(cfg.policy, cylinders))
+                .collect(),
+            dup_tags: vec![Vec::new(); n],
+            delayed_keys: vec![BTreeMap::new(); n],
             look: vec![LookState::default(); n],
             inflight: (0..n).map(|_| None).collect(),
-            events: EventQueue::with_capacity(2 * n + 64),
-            logicals: BTreeMap::new(),
+            events: EventQueue::with_horizon_ns(horizon_ns),
+            cfg,
+            logicals: LogicalTable::default(),
             next_logical: 0,
             dup_started: BTreeSet::new(),
             next_dup: 0,
@@ -360,6 +473,12 @@ impl ArraySim {
             dead: vec![false; n],
             pending_failures: Vec::new(),
             write_scratch: Vec::new(),
+            frag_scratch: Vec::new(),
+            plan_replicas: Vec::new(),
+            plan_scratch: Vec::new(),
+            group_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            task_pool: Vec::new(),
         })
     }
 
@@ -427,9 +546,16 @@ impl ArraySim {
         // Unpropagated replicas bound for this disk are moot.
         let dropped = self.delayed[disk].len();
         self.delayed[disk].clear();
+        self.delayed_keys[disk].clear();
         self.nvram = self.nvram.saturating_sub(dropped);
-        // Re-home the in-flight operation and the queue.
-        let mut orphans: Vec<PendingTask> = self.fg[disk].drain(..).collect();
+        // Re-home the in-flight operation and the queue (in arrival order,
+        // so surviving mirrors see the same relative order).
+        let ids: Vec<TaskId> = self.fg[disk].ids().to_vec();
+        let mut orphans: Vec<PendingTask> = ids
+            .into_iter()
+            .filter_map(|id| self.fg[disk].remove(id))
+            .collect();
+        self.dup_tags[disk].clear();
         if let Some(fly) = self.inflight[disk].take() {
             orphans.push(fly.task);
         }
@@ -441,7 +567,7 @@ impl ArraySim {
                     continue;
                 }
             }
-            touched.extend(self.rehome_task(task, now));
+            self.rehome_task(task, now, &mut touched);
         }
         touched.sort_unstable();
         touched.dedup();
@@ -450,10 +576,11 @@ impl ArraySim {
         }
     }
 
-    /// Re-dispatches a task from a failed disk onto surviving copies.
-    fn rehome_task(&mut self, task: PendingTask, now: SimTime) -> Vec<usize> {
+    /// Re-dispatches a task from a failed disk onto surviving copies,
+    /// recording the disks it lands on in `touched`.
+    fn rehome_task(&mut self, task: PendingTask, now: SimTime, touched: &mut Vec<usize>) {
         match task.kind {
-            TaskKind::Delayed => Vec::new(),
+            TaskKind::Delayed => {}
             TaskKind::WriteAll => {
                 // The surviving mirrors hold their own WriteAll tasks; the
                 // write only fails outright if no live copy remains.
@@ -463,28 +590,44 @@ impl ArraySim {
                     .into_iter()
                     .any(|d| !self.dead[d]);
                 self.finish_part(now, task.logical, !any_live);
-                Vec::new()
             }
             TaskKind::Read | TaskKind::WriteFirst => {
-                let groups: MirrorGroups = self
-                    .layout
-                    .write_groups(task.frag)
-                    .into_iter()
-                    .filter(|(d, _)| !self.dead[*d])
-                    .collect();
+                let mut groups = std::mem::take(&mut self.group_scratch);
+                groups.clear();
+                self.layout.write_groups_into(task.frag, &mut groups);
+                let dr = self.layout.shape().dr.max(1) as usize;
+                compact_live_groups(&mut groups, 0, dr, &self.dead);
                 if groups.is_empty() {
                     self.finish_part(now, task.logical, true);
-                    return Vec::new();
+                } else {
+                    self.dispatch_mirrored(
+                        task.logical,
+                        task.frag,
+                        task.write,
+                        task.kind,
+                        &groups,
+                        now,
+                        touched,
+                    );
                 }
-                self.dispatch_mirrored(task.logical, task.frag, task.write, task.kind, groups, now)
+                groups.clear();
+                self.group_scratch = groups;
             }
+        }
+        self.recycle(task);
+    }
+
+    /// Returns a completed task's shell (with its buffers) to the pool.
+    fn recycle(&mut self, task: PendingTask) {
+        if self.task_pool.len() < TASK_POOL_CAP {
+            self.task_pool.push(task);
         }
     }
 
     /// Marks one part of a logical request done (optionally failed).
     fn finish_part(&mut self, now: SimTime, logical: u64, failed: bool) {
         let done = {
-            let Some(l) = self.logicals.get_mut(&logical) else {
+            let Some(l) = self.logicals.get_mut(logical) else {
                 return;
             };
             l.parts = l.parts.saturating_sub(1);
@@ -600,28 +743,34 @@ impl ArraySim {
             }
         }
 
-        let frags = self.layout.fragments(lbn, sectors);
-        // Count one part per task actually enqueued: copies on failed
-        // disks are lost, and a fragment with no surviving copy marks the
-        // whole request failed.
+        // Plan the request into reusable scratch buffers: fragments, then
+        // per-fragment flat replica groups (runs of Dr per mirror disk,
+        // groups on failed disks compacted away in place). One part per
+        // task actually enqueued; a fragment with no surviving copy marks
+        // the whole request failed.
+        let mut frags = std::mem::take(&mut self.frag_scratch);
+        let mut reps = std::mem::take(&mut self.plan_replicas);
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        frags.clear();
+        reps.clear();
+        plan.clear();
+        self.layout.fragments_into(lbn, sectors, &mut frags);
+        let dr = self.layout.shape().dr.max(1) as usize;
         let mut parts = 0u32;
         let mut failed = false;
-        let mut plan: Vec<(Fragment, MirrorGroups)> = Vec::new();
-        for frag in frags {
-            let groups: MirrorGroups = self
-                .layout
-                .write_groups(frag)
-                .into_iter()
-                .filter(|(d, _)| !self.dead[*d])
-                .collect();
-            if groups.is_empty() {
+        for &frag in &frags {
+            let start = reps.len();
+            self.layout.write_groups_into(frag, &mut reps);
+            compact_live_groups(&mut reps, start, dr, &self.dead);
+            let len = reps.len() - start;
+            if len == 0 {
                 failed = true;
             } else if op.is_write() && self.cfg.write_mode == WriteMode::Foreground {
-                parts += groups.len() as u32;
+                parts += (len / dr) as u32;
             } else {
                 parts += 1;
             }
-            plan.push((frag, groups));
+            plan.push((frag, start as u32, len as u32));
         }
         self.logicals.insert(
             id,
@@ -640,48 +789,61 @@ impl ArraySim {
             // direct call would replenish synchronously and, with every
             // copy dead, recurse once per remaining completion.
             self.events.push(now, Event::CacheDone(id));
-            return;
-        }
-
-        let mut touched: Vec<usize> = Vec::new();
-        for (frag, groups) in plan {
-            if groups.is_empty() {
-                continue;
-            }
-            if op.is_write() && self.cfg.write_mode == WriteMode::Foreground {
-                for (disk, replicas) in groups {
-                    self.enqueue(
-                        disk,
-                        Self::task_from_replicas(
-                            id,
-                            frag,
-                            true,
-                            TaskKind::WriteAll,
-                            &replicas,
-                            now,
-                        ),
-                    );
-                    touched.push(disk);
+        } else {
+            let mut touched = std::mem::take(&mut self.touched_scratch);
+            touched.clear();
+            for &(frag, start, len) in &plan {
+                if len == 0 {
+                    continue;
                 }
-            } else {
-                // Reads and background-mode first-copy writes share the
-                // mirror dispatch heuristic.
-                let kind = if op.is_write() {
-                    TaskKind::WriteFirst
+                let groups = &reps[start as usize..(start + len) as usize];
+                if op.is_write() && self.cfg.write_mode == WriteMode::Foreground {
+                    for replicas in groups.chunks_exact(dr) {
+                        let disk = replicas[0].disk;
+                        let task =
+                            self.make_task(id, frag, true, TaskKind::WriteAll, replicas, now);
+                        self.enqueue(disk, task);
+                        touched.push(disk);
+                    }
                 } else {
-                    TaskKind::Read
-                };
-                touched.extend(self.dispatch_mirrored(id, frag, op.is_write(), kind, groups, now));
+                    // Reads and background-mode first-copy writes share the
+                    // mirror dispatch heuristic.
+                    let kind = if op.is_write() {
+                        TaskKind::WriteFirst
+                    } else {
+                        TaskKind::Read
+                    };
+                    self.dispatch_mirrored(
+                        id,
+                        frag,
+                        op.is_write(),
+                        kind,
+                        groups,
+                        now,
+                        &mut touched,
+                    );
+                }
             }
+            touched.sort_unstable();
+            touched.dedup();
+            for &disk in &touched {
+                self.try_dispatch(now, disk);
+            }
+            touched.clear();
+            self.touched_scratch = touched;
         }
-        touched.sort_unstable();
-        touched.dedup();
-        for d in touched {
-            self.try_dispatch(now, d);
-        }
+        frags.clear();
+        self.frag_scratch = frags;
+        reps.clear();
+        self.plan_replicas = reps;
+        plan.clear();
+        self.plan_scratch = plan;
     }
 
-    fn task_from_replicas(
+    /// Builds a task over `replicas`, reusing a pooled shell when one is
+    /// available so the steady state allocates nothing.
+    fn make_task(
+        &mut self,
         logical: u64,
         frag: Fragment,
         write: bool,
@@ -689,55 +851,68 @@ impl ArraySim {
         replicas: &[Replica],
         now: SimTime,
     ) -> PendingTask {
-        PendingTask {
-            logical,
-            frag,
-            write,
-            kind,
-            targets: replicas.iter().map(|r| r.target).collect(),
-            meta: replicas.iter().map(|r| (r.replica, r.mirror)).collect(),
-            enqueued: now,
-            dup: None,
-            key: (frag.lbn, 0, 0),
-        }
+        let mut t = self.task_pool.pop().unwrap_or_else(PendingTask::shell);
+        t.logical = logical;
+        t.frag = frag;
+        t.write = write;
+        t.kind = kind;
+        t.targets.clear();
+        t.targets.extend(replicas.iter().map(|r| r.target));
+        t.meta.clear();
+        t.meta
+            .extend(replicas.iter().map(|r| (r.replica, r.mirror)));
+        t.enqueued = now;
+        t.dup = None;
+        t.key = (frag.lbn, 0, 0);
+        t
     }
 
     /// Dispatches a read (or first-copy write) according to the mirror
-    /// heuristic of §3.3. Returns the disks touched.
+    /// heuristic of §3.3, pushing the disks touched onto `touched`.
+    ///
+    /// `groups` is the flat dead-filtered replica buffer: runs of `Dr`
+    /// replicas, one run per surviving mirror disk.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_mirrored(
         &mut self,
         logical: u64,
         frag: Fragment,
         write: bool,
         kind: TaskKind,
-        groups: MirrorGroups,
+        groups: &[Replica],
         now: SimTime,
-    ) -> Vec<usize> {
-        if groups.len() == 1 || self.cfg.mirror_policy == MirrorPolicy::Static {
-            let idx = if groups.len() == 1 {
+        touched: &mut Vec<usize>,
+    ) {
+        let dr = self.layout.shape().dr.max(1) as usize;
+        let ngroups = groups.len() / dr;
+        if ngroups == 1 || self.cfg.mirror_policy == MirrorPolicy::Static {
+            let idx = if ngroups == 1 {
                 0
             } else {
                 ((frag.lbn / self.cfg.stripe_unit as u64)
                     / (self.cfg.shape.ds as u64 * self.cfg.shape.dr as u64)
-                    % groups.len() as u64) as usize
+                    % ngroups as u64) as usize
             };
-            let (disk, replicas) = &groups[idx];
-            self.enqueue(
-                *disk,
-                Self::task_from_replicas(logical, frag, write, kind, replicas, now),
-            );
-            return vec![*disk];
+            let replicas = &groups[idx * dr..(idx + 1) * dr];
+            let disk = replicas[0].disk;
+            let task = self.make_task(logical, frag, write, kind, replicas, now);
+            self.enqueue(disk, task);
+            touched.push(disk);
+            return;
         }
 
         // Idle owners first: send to the idle head closest to a copy.
         let idle = groups
-            .iter()
-            .filter(|(d, _)| self.inflight[*d].is_none() && self.fg[*d].is_empty())
-            .min_by_key(|(d, replicas)| {
-                replicas
-                    .iter()
+            .chunks_exact(dr)
+            .filter(|g| {
+                let d = g[0].disk;
+                self.inflight[d].is_none() && self.fg[d].is_empty()
+            })
+            .min_by_key(|g| {
+                let d = g[0].disk;
+                g.iter()
                     .map(|r| {
-                        self.disks[*d]
+                        self.disks[d]
                             .estimate(now, &r.target, write)
                             .positioning()
                             .as_nanos()
@@ -745,30 +920,33 @@ impl ArraySim {
                     .min()
                     .unwrap_or(u64::MAX)
             });
-        if let Some((disk, replicas)) = idle {
-            self.enqueue(
-                *disk,
-                Self::task_from_replicas(logical, frag, write, kind, replicas, now),
-            );
-            return vec![*disk];
+        if let Some(replicas) = idle {
+            let disk = replicas[0].disk;
+            let task = self.make_task(logical, frag, write, kind, replicas, now);
+            self.enqueue(disk, task);
+            touched.push(disk);
+            return;
         }
 
         // All owners busy: duplicate into every drive queue; the first disk
         // to start it wins and the rest are cancelled.
         let dup = self.next_dup;
         self.next_dup += 1;
-        let mut touched = Vec::with_capacity(groups.len());
-        for (disk, replicas) in &groups {
-            let mut t = Self::task_from_replicas(logical, frag, write, kind, replicas, now);
+        for replicas in groups.chunks_exact(dr) {
+            let disk = replicas[0].disk;
+            let mut t = self.make_task(logical, frag, write, kind, replicas, now);
             t.dup = Some(dup);
-            self.enqueue(*disk, t);
-            touched.push(*disk);
+            self.enqueue(disk, t);
+            touched.push(disk);
         }
-        touched
     }
 
     fn enqueue(&mut self, disk: usize, task: PendingTask) {
-        self.fg[disk].push(task);
+        let dup = task.dup;
+        let id = self.fg[disk].insert(task);
+        if let Some(g) = dup {
+            self.dup_tags[disk].push((g, id));
+        }
     }
 
     fn push_delayed(&mut self, disk: usize, replica: &Replica, frag: Fragment, now: SimTime) {
@@ -777,28 +955,44 @@ impl ArraySim {
         }
         let key = (frag.lbn, replica.replica, replica.mirror);
         if self.cfg.coalesce_delayed {
-            if let Some(existing) = self.delayed[disk].iter_mut().find(|t| t.key == key) {
+            if let Some(&id) = self.delayed_keys[disk].get(&key) {
                 // A newer write to the same block supersedes the pending
                 // propagation: "we can safely discard unfinished updates
-                // from previous writes" (§3.4).
-                existing.targets = vec![replica.target];
-                existing.meta = vec![(replica.replica, replica.mirror)];
-                existing.enqueued = now;
-                self.report.delayed_coalesced += 1;
-                return;
+                // from previous writes" (§3.4). The update keeps the
+                // task's arrival position, as the in-place mutation did.
+                let target = replica.target;
+                let meta = (replica.replica, replica.mirror);
+                let live = self.delayed[disk].replace_with(id, |t| {
+                    t.targets.clear();
+                    t.targets.push(target);
+                    t.meta.clear();
+                    t.meta.push(meta);
+                    t.enqueued = now;
+                });
+                if live {
+                    self.report.delayed_coalesced += 1;
+                    return;
+                }
+                // A desynced key (never expected) falls through to a
+                // fresh insert, which re-registers it below.
             }
         }
-        self.delayed[disk].push(PendingTask {
-            logical: u64::MAX,
-            frag,
-            write: true,
-            kind: TaskKind::Delayed,
-            targets: vec![replica.target],
-            meta: vec![(replica.replica, replica.mirror)],
-            enqueued: now,
-            dup: None,
-            key,
-        });
+        let mut t = self.task_pool.pop().unwrap_or_else(PendingTask::shell);
+        t.logical = u64::MAX;
+        t.frag = frag;
+        t.write = true;
+        t.kind = TaskKind::Delayed;
+        t.targets.clear();
+        t.targets.push(replica.target);
+        t.meta.clear();
+        t.meta.push((replica.replica, replica.mirror));
+        t.enqueued = now;
+        t.dup = None;
+        t.key = key;
+        let id = self.delayed[disk].insert(t);
+        if self.cfg.coalesce_delayed {
+            self.delayed_keys[disk].insert(key, id);
+        }
         self.nvram += 1;
         self.report.nvram_peak = self.report.nvram_peak.max(self.nvram);
     }
@@ -807,46 +1001,63 @@ impl ArraySim {
         if self.inflight[disk].is_some() {
             return;
         }
-        // Purge mirror duplicates another disk already started.
-        let started = &self.dup_started;
-        self.fg[disk].retain(|t| t.dup.is_none_or(|g| !started.contains(&g)));
+        // Purge mirror duplicates another disk already started. The tag
+        // list scans only this disk's duplicates, not the whole queue.
+        if !self.dup_tags[disk].is_empty() {
+            let started = &self.dup_started;
+            let queue = &mut self.fg[disk];
+            let pool = &mut self.task_pool;
+            self.dup_tags[disk].retain(|&(g, id)| {
+                if started.contains(&g) {
+                    if let Some(t) = queue.remove(id) {
+                        if pool.len() < TASK_POOL_CAP {
+                            pool.push(t);
+                        }
+                    }
+                    return false;
+                }
+                // Drop tags whose task already dispatched from here.
+                queue.get(id).is_some()
+            });
+        }
 
         // Delayed writes run when the foreground queue is empty, or are
         // forced out when the NVRAM table crosses its threshold (§3.4).
         let force_delayed = self.nvram >= self.cfg.nvram_threshold;
         let use_delayed =
             (self.fg[disk].is_empty() || force_delayed) && !self.delayed[disk].is_empty();
-        let queue: &Vec<PendingTask> = if use_delayed {
+        let queue = if use_delayed {
             &self.delayed[disk]
         } else {
             &self.fg[disk]
         };
-        if queue.is_empty() {
-            return;
-        }
-        let window = queue.len().min(SCHED_WINDOW);
-        let Some(p) = pick(
-            self.cfg.policy,
+        let Some((id, candidate)) = queue.pick(
             &self.disks[disk],
             now,
-            &queue[..window],
             &mut self.look[disk],
             self.cfg.slack,
+            SCHED_WINDOW,
         ) else {
             return;
         };
         let task = if use_delayed {
-            self.delayed[disk].remove(p.queue_index)
+            self.delayed[disk].remove(id)
         } else {
-            self.fg[disk].remove(p.queue_index)
+            self.fg[disk].remove(id)
         };
+        let Some(task) = task else {
+            return; // Unreachable: the pick came from this queue.
+        };
+        if task.kind == TaskKind::Delayed {
+            self.delayed_keys[disk].remove(&task.key);
+        }
         if let Some(g) = task.dup {
             self.dup_started.insert(g);
         }
 
         // Service the chosen target (plus follow-on replicas for a
         // foreground multi-replica write).
-        let chosen = &task.targets[p.candidate];
+        let chosen = &task.targets[candidate];
         let predicted = self.disks[disk].estimate(now, chosen, task.write).total();
         let first = self.disks[disk].begin(now, chosen, task.write);
         let mut end = now + first.total();
@@ -885,7 +1096,7 @@ impl ArraySim {
                 task.targets
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| *i != p.candidate)
+                    .filter(|(i, _)| *i != candidate)
                     .map(|(_, t)| *t),
             );
             while let Some((i, _)) = rest.iter().enumerate().min_by_key(|(_, t)| {
@@ -904,7 +1115,7 @@ impl ArraySim {
         self.report.phys_requests += 1;
         self.inflight[disk] = Some(InFlight {
             task,
-            chosen: p.candidate,
+            chosen: candidate,
         });
         self.events.push(end, Event::DiskDone(disk));
     }
@@ -923,23 +1134,27 @@ impl ArraySim {
                     // The first copy is durable; queue the remaining
                     // Dr*Dm - 1 copies for background propagation.
                     let written = fly.task.meta[fly.chosen];
-                    for (_, replicas) in self.layout.write_groups(fly.task.frag) {
-                        for r in replicas {
-                            if (r.replica, r.mirror) == written {
-                                continue;
-                            }
-                            self.push_delayed(r.disk, &r, fly.task.frag, now);
+                    let mut reps = std::mem::take(&mut self.group_scratch);
+                    reps.clear();
+                    self.layout.write_groups_into(fly.task.frag, &mut reps);
+                    for r in &reps {
+                        if (r.replica, r.mirror) == written {
+                            continue;
                         }
+                        self.push_delayed(r.disk, r, fly.task.frag, now);
                     }
+                    reps.clear();
+                    self.group_scratch = reps;
                 }
                 self.finish_part(now, fly.task.logical, false);
             }
         }
+        self.recycle(fly.task);
         self.try_dispatch(now, disk);
     }
 
     fn complete_logical(&mut self, now: SimTime, id: u64) {
-        let Some(l) = self.logicals.remove(&id) else {
+        let Some(l) = self.logicals.remove(id) else {
             return;
         };
         let response = now.saturating_since(l.arrival);

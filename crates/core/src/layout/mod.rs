@@ -224,8 +224,15 @@ impl Layout {
 
     /// Splits a logical request at stripe-unit boundaries.
     pub fn fragments(&self, lbn: u64, sectors: u32) -> Vec<Fragment> {
-        let u = self.stripe_unit as u64;
         let mut out = Vec::new();
+        self.fragments_into(lbn, sectors, &mut out);
+        out
+    }
+
+    /// Appends the fragments of `[lbn, lbn+sectors)` to `out`, reusing the
+    /// caller's buffer (the allocation-free twin of [`Layout::fragments`]).
+    pub fn fragments_into(&self, lbn: u64, sectors: u32, out: &mut Vec<Fragment>) {
+        let u = self.stripe_unit as u64;
         let mut cur = lbn;
         let end = lbn + sectors as u64;
         while cur < end {
@@ -237,7 +244,6 @@ impl Layout {
             });
             cur += len;
         }
-        out
     }
 
     /// The disks that hold copies of a fragment (one per mirror).
@@ -361,25 +367,39 @@ impl Layout {
     /// Write placements grouped per mirror disk: `Dm` groups of `Dr`
     /// rotational replicas each.
     pub fn write_groups(&self, frag: Fragment) -> Vec<(usize, Vec<Replica>)> {
-        let Some((column, row, loc)) = self.base_placement(frag) else {
-            return Vec::new();
-        };
-        (0..self.shape.dm)
-            .map(|m| {
-                let disk = self.disk_index(column, row, m);
-                let replicas: Vec<Replica> = (0..self.shape.dr)
-                    .map(|k| Replica {
-                        disk,
-                        target: self.replica_target(loc, k, m, frag.sectors),
-                        replica: k as u8,
-                        mirror: m as u8,
-                    })
-                    .collect();
-                #[cfg(debug_assertions)]
-                self.check_replica_spacing(&replicas);
-                (disk, replicas)
-            })
+        let mut flat = Vec::new();
+        self.write_groups_into(frag, &mut flat);
+        flat.chunks_exact(self.shape.dr as usize)
+            .map(|group| (group[0].disk, group.to_vec()))
             .collect()
+    }
+
+    /// Appends the `Dm × Dr` write placements of a fragment to `out` as
+    /// `Dm` contiguous runs of `Dr` replicas each (a run shares one disk).
+    /// Appends nothing for out-of-range blocks. This is the
+    /// allocation-free twin of [`Layout::write_groups`]: the hot dispatch
+    /// path slices the flat buffer by `chunks_exact(dr)` instead of
+    /// materialising nested vectors.
+    pub fn write_groups_into(&self, frag: Fragment, out: &mut Vec<Replica>) {
+        let Some((column, row, loc)) = self.base_placement(frag) else {
+            return;
+        };
+        for m in 0..self.shape.dm {
+            let disk = self.disk_index(column, row, m);
+            let start = out.len();
+            for k in 0..self.shape.dr {
+                out.push(Replica {
+                    disk,
+                    target: self.replica_target(loc, k, m, frag.sectors),
+                    replica: k as u8,
+                    mirror: m as u8,
+                });
+            }
+            #[cfg(debug_assertions)]
+            self.check_replica_spacing(&out[start..]);
+            #[cfg(not(debug_assertions))]
+            let _ = start;
+        }
     }
 }
 

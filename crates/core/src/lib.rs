@@ -36,6 +36,7 @@
 //! ```
 
 pub mod config;
+pub mod dqueue;
 pub mod engine;
 pub mod layout;
 pub mod models;
@@ -43,6 +44,7 @@ pub mod sched;
 pub mod tuner;
 
 pub use config::{Shape, ShapeKind};
+pub use dqueue::{DriveQueue, TaskId};
 pub use engine::report::{PredictionStats, RunReport};
 pub use engine::{ArraySim, CacheConfig, EngineConfig, MirrorPolicy, WriteMode};
 pub use layout::{Fragment, Layout, LayoutError, Replica, ReplicaPlacement};

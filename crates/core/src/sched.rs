@@ -76,14 +76,29 @@ pub trait Schedulable {
     fn enqueued(&self) -> SimTime;
 }
 
+impl<S: Schedulable> Schedulable for &S {
+    fn candidates(&self) -> &[Target] {
+        (**self).candidates()
+    }
+    fn is_write(&self) -> bool {
+        (**self).is_write()
+    }
+    fn enqueued(&self) -> SimTime {
+        (**self).enqueued()
+    }
+}
+
 /// Per-disk scheduler state: the elevator sweep direction plus a scratch
-/// buffer the SATF scan reuses across calls (no steady-state allocation).
+/// heap the SATF scan reuses across calls (no steady-state allocation).
 #[derive(Debug, Clone, Default)]
 pub struct LookState {
     /// Whether the sweep currently moves toward higher cylinders.
     pub upward: bool,
-    /// Reusable backing store for the SATF/RSATF bound-ordered scan:
-    /// `(seek lower bound, queue index, candidate index)` min-heap entries.
+    /// Reusable scratch for the SATF/RSATF bound-ordered scan:
+    /// `(seek lower bound, queue index, candidate index)` entries. Filled
+    /// linearly then heapified in one `BinaryHeap::from` pass (O(n), vs
+    /// O(n log n) for element-wise pushes); the allocation shuttles
+    /// between the `Vec` and the heap without ever being dropped.
     scan: Vec<Reverse<(u64, u32, u32)>>,
 }
 
@@ -155,6 +170,8 @@ pub fn pick<S: Schedulable>(
             // is exactly the first-minimal-in-queue-order rule of a linear
             // scan, so the pick is identical to the exhaustive one.
             let scratch = &mut look.scan;
+            // An earlier scan's early break may have left entries behind;
+            // clearing keeps the allocation and discards the stale contents.
             scratch.clear();
             for (i, entry) in queue.iter().enumerate() {
                 let limit = if aware { entry.candidates().len() } else { 1 };
@@ -191,10 +208,9 @@ pub fn pick<S: Schedulable>(
                     best = Some((cost, i, c));
                 }
             }
-            // Hand the allocation back for the next call (contents are
-            // stale; only the capacity matters).
+            // Hand the buffer back for the next call (contents are stale
+            // and discarded by the clear() above).
             *scratch = heap.into_vec();
-            scratch.clear();
             best.map(|(_, i, c)| Pick {
                 queue_index: i as usize,
                 candidate: c as usize,
@@ -238,7 +254,7 @@ pub fn pick<S: Schedulable>(
 /// the slack window — within it the head-position prediction cannot be
 /// trusted and "the scheduler conservatively chooses the next rotational
 /// replica after the target" (§3.2).
-fn candidate_cost(
+pub(crate) fn candidate_cost(
     disk: &SimDisk,
     now: SimTime,
     target: &Target,
@@ -253,10 +269,29 @@ fn candidate_cost(
     cost
 }
 
+/// [`candidate_cost`] with the effective target phase supplied by the
+/// caller (from [`SimDisk::sched_phase`], which is time-independent and so
+/// cacheable per queued candidate). Agrees exactly with `candidate_cost`.
+pub(crate) fn candidate_cost_at_phase(
+    disk: &SimDisk,
+    now: SimTime,
+    target: &Target,
+    write: bool,
+    slack: SimDuration,
+    phase: f64,
+) -> u64 {
+    let (positioning_ns, rotation_ns) = disk.sched_cost_at_phase_ns(now, target, write, phase);
+    let mut cost = positioning_ns;
+    if rotation_ns < slack.as_nanos() {
+        cost += disk.rotation_ns();
+    }
+    cost
+}
+
 /// Picks the cheapest replica of one entry (or the primary when the policy
 /// is not replica-aware). First-minimal tie-break, with the same
 /// seek-lower-bound pruning as the SATF scan.
-fn best_candidate<S: Schedulable>(
+pub(crate) fn best_candidate<S: Schedulable>(
     disk: &SimDisk,
     now: SimTime,
     entry: &S,

@@ -303,6 +303,27 @@ impl SimDisk {
         }
     }
 
+    /// The seek-only lower bound for a cylinder `distance`, in nanoseconds:
+    /// the by-distance form of [`SimDisk::positioning_lower_bound_ns`], for
+    /// index structures that bound whole cylinder bands at once. Monotone in
+    /// `distance` (the seek curve is), which is what lets a band index visit
+    /// bands in ascending-bound order. Not valid for potential track-buffer
+    /// hits (their positioning bound is 0 regardless of distance) — callers
+    /// must check [`SimDisk::read_ahead_enabled`] first.
+    #[inline]
+    pub fn seek_bound_ns(&self, distance: u32) -> u64 {
+        if distance == 0 {
+            0
+        } else {
+            self.seek.seek_ns(distance)
+        }
+    }
+
+    /// Whether the track read-ahead buffer is enabled.
+    pub fn read_ahead_enabled(&self) -> bool {
+        self.read_ahead
+    }
+
     /// Current arm cylinder.
     pub fn arm_cylinder(&self) -> u32 {
         self.arm_cylinder
@@ -473,14 +494,17 @@ impl SimDisk {
     /// `estimate(start, target, write)`'s `positioning()` and `rotation`.
     #[inline]
     pub fn sched_cost_ns(&self, start: SimTime, target: &Target, write: bool) -> (u64, u64) {
-        if !write
-            && self.read_ahead
-            && self.buffered_track == Some((target.cylinder, target.surface))
-        {
-            return (0, 0); // Track-buffer hit: no positioning at all.
-        }
-        let seek = self.positioning_time(target, write);
-        let arrive = start + self.overhead + seek;
+        self.sched_cost_at_phase_ns(start, target, write, self.sched_phase(target))
+    }
+
+    /// The effective spindle phase at which `target`'s first sector passes
+    /// under the head: the quantised track angle with this disk's phase
+    /// offset folded in. Depends only on immutable drive state (geometry,
+    /// timing path, phase offset), never on the clock or the arm — so
+    /// index structures may compute it once per queued candidate and reuse
+    /// it across picks.
+    #[inline]
+    pub fn sched_phase(&self, target: &Target) -> f64 {
         let angle = if self.path == TimingPath::Detailed {
             match self.quantise_cached(target.cylinder, target.surface, target.angle) {
                 Some((angle, _, _)) => angle,
@@ -489,10 +513,44 @@ impl SimDisk {
         } else {
             mod1(target.angle)
         };
-        let rotation = self
-            .spindle
-            .wait_until_angle(arrive, self.target_phase(angle));
+        self.target_phase(angle)
+    }
+
+    /// [`SimDisk::sched_cost_ns`] with the effective phase supplied by the
+    /// caller (from [`SimDisk::sched_phase`]), skipping the per-call angle
+    /// quantisation. `sched_cost_ns(s, t, w)` is defined as
+    /// `sched_cost_at_phase_ns(s, t, w, sched_phase(t))`.
+    #[inline]
+    pub fn sched_cost_at_phase_ns(
+        &self,
+        start: SimTime,
+        target: &Target,
+        write: bool,
+        phase: f64,
+    ) -> (u64, u64) {
+        if !write
+            && self.read_ahead
+            && self.buffered_track == Some((target.cylinder, target.surface))
+        {
+            return (0, 0); // Track-buffer hit: no positioning at all.
+        }
+        let seek = self.positioning_time(target, write);
+        let arrive = start + self.overhead + seek;
+        let rotation = self.spindle.wait_until_angle(arrive, phase);
         ((seek + rotation).as_nanos(), rotation.as_nanos())
+    }
+
+    /// Raw spindle phase at the earliest arrival a candidate with seek
+    /// bound `seek_bound_ns` can manage: `now + overhead + bound`. This is
+    /// the reference point for rotational lower bounds — for any candidate
+    /// whose seek is at least the bound, `positioning >= bound +
+    /// mod1(sched_phase - floor) * rotation` (first-hit times are monotone
+    /// in the arrival instant). Raw, not offset-adjusted: effective phases
+    /// from [`SimDisk::sched_phase`] already fold the offset in.
+    #[inline]
+    pub fn arrival_phase_floor(&self, now: SimTime, seek_bound_ns: u64) -> f64 {
+        self.spindle
+            .angle_at(now + self.overhead + SimDuration::from_nanos(seek_bound_ns))
     }
 
     /// Folds the per-disk phase offset into an effective target angle

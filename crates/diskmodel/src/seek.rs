@@ -17,11 +17,24 @@
 //! maximum seek times — the same calibration the paper's prototype performs
 //! against live hardware (§3.2).
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use mimd_sim::SimDuration;
 
 use crate::params::DiskParams;
+
+/// Most distinct drive models a process plausibly simulates; beyond it the
+/// memo stops growing and extra models just refit.
+const FIT_CACHE_CAP: usize = 16;
+
+thread_local! {
+    /// Per-thread memo for [`SeekProfile::fit`]: `(params, fitted profile)`
+    /// pairs, searched linearly (the list holds a handful of drive models
+    /// at most). Thread-local rather than shared so the simulation crates
+    /// stay lock-free; each harness worker refits at most once per model.
+    static FIT_CACHE: RefCell<Vec<(DiskParams, SeekProfile)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A calibrated two-regime seek-time curve.
 ///
@@ -69,6 +82,31 @@ impl SeekProfile {
     /// assert!((avg.as_millis_f64() - 5.2).abs() < 0.02);
     /// ```
     pub fn fit(params: &DiskParams) -> Result<Self, String> {
+        // The fit is pure in `params` but costs ~1ms (80 bisection probes,
+        // each a 4000-step numeric integration, then two 7000-entry LUT
+        // builds), and simulations are built far more often than new drive
+        // models appear. Memoise per thread: same parameters return a clone
+        // of the same fitted profile, bit-for-bit.
+        if let Some(hit) = FIT_CACHE.with(|c| {
+            c.borrow()
+                .iter()
+                .find(|(p, _)| p == params)
+                .map(|(_, s)| s.clone())
+        }) {
+            return Ok(hit);
+        }
+        let prof = Self::fit_uncached(params)?;
+        FIT_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() < FIT_CACHE_CAP {
+                cache.push((params.clone(), prof.clone()));
+            }
+        });
+        Ok(prof)
+    }
+
+    /// The fit itself, bypassing the memo (exposed for cost measurement).
+    pub fn fit_uncached(params: &DiskParams) -> Result<Self, String> {
         params.validate()?;
         let c = params.total_cylinders() as f64;
         let min = params.min_seek.as_micros_f64();

@@ -5,11 +5,35 @@
 //! simulator frequently schedules a disk-completion and a request-arrival at
 //! the same nanosecond, and reproducible experiment output requires a stable
 //! tie-break.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! # Implementation
+//!
+//! The queue is a calendar (timing-wheel) queue rather than a binary heap:
+//! a ring of `NBUCKETS` buckets, each spanning `2^shift` nanoseconds, plus
+//! an unsorted *far list* for events beyond the wheel's horizon
+//! (`NBUCKETS << shift` ns past the cursor). Simulated disk events cluster
+//! within a few rotation periods of "now", so nearly every push lands in the
+//! wheel, nearly every bucket holds zero or one events, and both `push` and
+//! `pop` are O(1) amortised instead of the heap's O(log n) — with no
+//! steady-state allocation (buckets reuse their capacity).
+//!
+//! Exactness: within the wheel's window each bucket corresponds to exactly
+//! one absolute slot, so visiting buckets in circular order from the cursor
+//! is exact slot order; within a bucket, `pop` selects the minimum
+//! `(time, seq)` entry, which reproduces the heap's (time, FIFO) order
+//! bit-for-bit. Far-list events all lie beyond every wheel event, and are
+//! migrated into the wheel whenever the cursor advances far enough that the
+//! window could reach them, so they can never be popped late. The test suite
+//! checks the pop sequence against a reference binary heap under randomized
+//! interleaved push/pop workloads.
 
 use crate::time::SimTime;
+
+/// Number of wheel buckets. A power of two so slot→bucket is a mask.
+const NBUCKETS: usize = 256;
+/// Default bucket width exponent: 2^16 ns = 65.5 µs per bucket, giving a
+/// ~16.8 ms horizon — a few disk rotation periods.
+const DEFAULT_SHIFT: u32 = 16;
 
 /// A time-ordered event queue with FIFO tie-breaking.
 ///
@@ -27,7 +51,21 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Ring of buckets; bucket `s & (NBUCKETS-1)` holds the events of
+    /// absolute slot `s` once `s` is inside the window
+    /// `[cur_slot, cur_slot + NBUCKETS)`.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; NBUCKETS / 64],
+    /// Events with slots at or beyond the window; unsorted.
+    far: Vec<Entry<E>>,
+    /// Minimum slot present in `far` (`u64::MAX` when `far` is empty).
+    far_min_slot: u64,
+    /// Bucket width is `2^shift` nanoseconds.
+    shift: u32,
+    /// Slot containing the frontier; the wheel window starts here.
+    cur_slot: u64,
+    len: usize,
     seq: u64,
     /// Time of the most recent pop; pushes and pops must not precede it.
     frontier: SimTime,
@@ -40,48 +78,51 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within a
-        // tie, the first-inserted) entry is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default event horizon.
     pub fn new() -> Self {
+        Self::with_shift(DEFAULT_SHIFT)
+    }
+
+    /// Creates an empty queue with pre-allocated far-list capacity.
+    ///
+    /// Wheel buckets grow on first use regardless; `cap` only pre-sizes the
+    /// overflow list, so this matters for workloads that schedule far ahead.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::with_shift(DEFAULT_SHIFT);
+        q.far.reserve(cap);
+        q
+    }
+
+    /// Creates an empty queue whose wheel spans at least `horizon_ns`
+    /// nanoseconds, so events within that horizon of the cursor avoid the
+    /// overflow list. Callers size this to the disk-event horizon (a few
+    /// rotation periods).
+    pub fn with_horizon_ns(horizon_ns: u64) -> Self {
+        let mut shift = 10;
+        while ((NBUCKETS as u64) << shift) < horizon_ns && shift < 40 {
+            shift += 1;
+        }
+        Self::with_shift(shift)
+    }
+
+    fn with_shift(shift: u32) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; NBUCKETS / 64],
+            far: Vec::new(),
+            far_min_slot: u64::MAX,
+            shift,
+            cur_slot: 0,
+            len: 0,
             seq: 0,
             frontier: SimTime::ZERO,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            seq: 0,
-            frontier: SimTime::ZERO,
-        }
+    #[inline]
+    fn slot_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
     }
 
     /// Schedules `event` to fire at instant `at`.
@@ -96,42 +137,172 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        // Release builds tolerate a past push by clamping into the current
+        // slot; min-(at, seq) selection within the bucket still pops it first.
+        let s = self.slot_of(at).max(self.cur_slot);
+        let entry = Entry { at, seq, event };
+        if s < self.cur_slot + NBUCKETS as u64 {
+            let b = (s as usize) & (NBUCKETS - 1);
+            self.wheel[b].push(entry);
+            self.occupied[b / 64] |= 1 << (b % 64);
+        } else {
+            self.far.push(entry);
+            self.far_min_slot = self.far_min_slot.min(s);
+        }
+        self.len += 1;
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            crate::sim_invariant!(
-                e.at >= self.frontier,
-                "event queue popped {} after frontier {}",
-                e.at,
-                self.frontier
-            );
-            self.frontier = e.at;
-            (e.at, e.event)
-        })
+        if self.len == 0 {
+            return None;
+        }
+        if self.len == self.far.len() {
+            // Wheel is empty: jump the cursor to the far list's first slot.
+            self.advance_to(self.far_min_slot);
+        }
+        // `len > far.len()` guarantees an occupied bucket exists; the `?`
+        // keeps this branch panic-free regardless.
+        let b = self.next_occupied_from(self.cur_slot)?;
+        // The absolute slot this bucket holds within the current window.
+        let offset = (b as u64).wrapping_sub(self.cur_slot) & (NBUCKETS as u64 - 1);
+        let ws = self.cur_slot + offset;
+        if ws > self.cur_slot {
+            self.advance_to(ws);
+        }
+        let bucket = &mut self.wheel[b];
+        let mut best = 0;
+        for i in 1..bucket.len() {
+            let (e, c) = (&bucket[i], &bucket[best]);
+            if (e.at, e.seq) < (c.at, c.seq) {
+                best = i;
+            }
+        }
+        let e = bucket.swap_remove(best);
+        if bucket.is_empty() {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+        }
+        self.len -= 1;
+        crate::sim_invariant!(
+            e.at >= self.frontier,
+            "event queue popped {} after frontier {}",
+            e.at,
+            self.frontier
+        );
+        self.frontier = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Moves the cursor forward to `new_cur` and pulls far-list events whose
+    /// slots entered the window into the wheel.
+    fn advance_to(&mut self, new_cur: u64) {
+        self.cur_slot = new_cur;
+        if self.far_min_slot >= new_cur + NBUCKETS as u64 {
+            return;
+        }
+        let mut min_slot = u64::MAX;
+        let mut i = 0;
+        while i < self.far.len() {
+            let s = self.slot_of(self.far[i].at);
+            if s < new_cur + NBUCKETS as u64 {
+                let entry = self.far.swap_remove(i);
+                let b = (s as usize) & (NBUCKETS - 1);
+                self.wheel[b].push(entry);
+                self.occupied[b / 64] |= 1 << (b % 64);
+            } else {
+                min_slot = min_slot.min(s);
+                i += 1;
+            }
+        }
+        self.far_min_slot = min_slot;
+    }
+
+    /// First non-empty bucket at or circularly after `from_slot`'s bucket.
+    fn next_occupied_from(&self, from_slot: u64) -> Option<usize> {
+        let start = (from_slot as usize) & (NBUCKETS - 1);
+        let (w0, bit0) = (start / 64, start % 64);
+        let words = NBUCKETS / 64;
+        // First word: mask off bits before the start position.
+        let masked = self.occupied[w0] & (!0u64 << bit0);
+        if masked != 0 {
+            return Some(w0 * 64 + masked.trailing_zeros() as usize);
+        }
+        for k in 1..=words {
+            let w = (w0 + k) % words;
+            let bits = if w == w0 {
+                // Wrapped all the way: bits before the start position.
+                self.occupied[w0] & !(!0u64 << bit0)
+            } else {
+                self.occupied[w]
+            };
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 
     /// The firing time of the earliest pending event, if any.
+    ///
+    /// ```
+    /// use mimd_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert_eq!(q.peek_time(), None);
+    /// q.push(SimTime::from_micros(9), "later");
+    /// q.push(SimTime::from_micros(4), "sooner");
+    /// assert_eq!(q.peek_time(), Some(SimTime::from_micros(4)));
+    /// ```
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        if self.len == self.far.len() {
+            return self.far.iter().map(|e| e.at).min();
+        }
+        let b = self.next_occupied_from(self.cur_slot)?;
+        self.wheel[b].iter().map(|e| e.at).min()
     }
 
     /// Number of pending events.
+    ///
+    /// ```
+    /// use mimd_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.push(SimTime::from_micros(1), ());
+    /// q.push(SimTime::from_micros(2), ());
+    /// assert_eq!(q.len(), 2);
+    /// ```
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
+    ///
+    /// ```
+    /// use mimd_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// assert!(q.is_empty());
+    /// q.push(SimTime::ZERO, ());
+    /// assert!(!q.is_empty());
+    /// ```
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Removes all pending events and resets the monotonicity frontier
     /// (the queue may then be reused for a fresh run from t = 0).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.occupied = [0; NBUCKETS / 64];
+        self.far.clear();
+        self.far_min_slot = u64::MAX;
+        self.cur_slot = 0;
+        self.len = 0;
         self.frontier = SimTime::ZERO;
     }
 }
@@ -139,6 +310,63 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// The PR 2 implementation, kept as the test oracle: a binary heap over
+/// `(time, seq)` with inverted ordering.
+#[cfg(test)]
+#[derive(Debug, Default)]
+pub(crate) struct HeapQueue<E> {
+    heap: std::collections::BinaryHeap<HeapEntry<E>>,
+    seq: u64,
+}
+
+#[cfg(test)]
+#[derive(Debug)]
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+#[cfg(test)]
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+#[cfg(test)]
+impl<E> Eq for HeapEntry<E> {}
+
+#[cfg(test)]
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+impl<E> HeapQueue<E> {
+    pub(crate) fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry { at, seq, event });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
     }
 }
 
@@ -193,5 +421,75 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 5);
+    }
+
+    #[test]
+    fn far_events_beyond_horizon_pop_in_order() {
+        // Events far past the wheel window must round-trip through the
+        // overflow list without disturbing the order.
+        let mut q = EventQueue::new();
+        let horizon_ns = (NBUCKETS as u64) << DEFAULT_SHIFT;
+        q.push(SimTime::from_nanos(3 * horizon_ns), 'c');
+        q.push(SimTime::from_nanos(10), 'a');
+        q.push(SimTime::from_nanos(2 * horizon_ns), 'b');
+        q.push(SimTime::from_nanos(5 * horizon_ns), 'd');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn matches_reference_heap_under_interleaved_ops() {
+        // The load-bearing equivalence test: under randomized interleaved
+        // push/pop the calendar queue's pop sequence must match the binary
+        // heap's exactly — same times, same FIFO tie-break. Times cluster
+        // near the frontier with occasional far outliers so buckets wrap
+        // and the overflow list migrates mid-run.
+        crate::check::check_cases("calendar_matches_heap", 60, |case, rng| {
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut heap: HeapQueue<u64> = HeapQueue::default();
+            let mut now = 0u64;
+            let mut id = 0u64;
+            for _ in 0..400 {
+                let pushes = rng.below(4);
+                for _ in 0..pushes {
+                    // Mostly near-future; ~1/8 far beyond the horizon.
+                    let delta = if rng.below(8) == 0 {
+                        rng.below(200_000_000)
+                    } else {
+                        rng.below(2_000_000)
+                    };
+                    // A burst of same-instant events exercises the FIFO rule.
+                    let reps = 1 + rng.below(3);
+                    for _ in 0..reps {
+                        let at = SimTime::from_nanos(now + delta);
+                        cal.push(at, id);
+                        heap.push(at, id);
+                        id += 1;
+                    }
+                }
+                if rng.below(3) > 0 {
+                    let got = cal.pop();
+                    let want = heap.pop();
+                    assert_eq!(got, want, "case {case}: pop diverged");
+                    if let Some((t, _)) = got {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            loop {
+                let got = cal.pop();
+                let want = heap.pop();
+                assert_eq!(got, want, "case {case}: drain diverged");
+                if got.is_none() {
+                    break;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn with_horizon_covers_requested_span() {
+        let q: EventQueue<()> = EventQueue::with_horizon_ns(50_000_000);
+        assert!((NBUCKETS as u64) << q.shift >= 50_000_000);
     }
 }

@@ -701,6 +701,22 @@ mod tests {
         assert!(Scope::for_path("crates/core/src/engine/mod.rs").parallelism);
         assert!(Scope::for_path("crates/diskmodel/src/disk.rs").parallelism);
         assert!(Scope::for_path("crates/workloads/src/synth.rs").parallelism);
+        // The PR-3 queue structures sit squarely in simulation scope: the
+        // calendar event queue inside simcore, the indexed drive queue
+        // inside core. Both must stay under the determinism, collection,
+        // time-unit, and parallelism rules (drive-queue picks feed the
+        // byte-identical experiment goldens), while the panic rule keeps
+        // its engine/diskmodel footprint.
+        let event = Scope::for_path("crates/simcore/src/event.rs");
+        assert!(event.determinism && event.collections && event.time_units);
+        let dqueue = Scope::for_path("crates/core/src/dqueue.rs");
+        assert!(dqueue.determinism && dqueue.collections && dqueue.time_units);
+        assert!(dqueue.parallelism && !dqueue.panic);
+        assert!(!Scope::for_path("crates/core/src/dqueue.rs").is_exempt());
+        // The seek-profile memo (`thread_local!` + `RefCell`) is lock-free
+        // single-thread state, which the parallelism rule permits.
+        let seek = Scope::for_path("crates/diskmodel/src/seek.rs");
+        assert!(seek.parallelism && seek.panic);
     }
 
     #[test]
