@@ -30,7 +30,7 @@ use mimd_disk::{
 };
 use mimd_harness::Json;
 use mimd_sim::{SimDuration, SimRng, SimTime};
-use mimd_workload::{IometerSpec, SyntheticSpec};
+use mimd_workload::{IometerSpec, RequestSource, SyntheticSpec};
 
 thread_local! {
     static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
@@ -417,6 +417,25 @@ fn bench_trace_generation() {
     });
 }
 
+fn bench_engine_replay() {
+    // What the shared-workload arenas buy a grid: `legacy` pays the
+    // generation cost per job (the pre-arena pattern — every cell built
+    // its own trace), `arena` replays the process-shared struct-of-arrays
+    // stream through `run_source`. Same simulated work, same output.
+    let spec = SyntheticSpec::cello_base();
+    let cfg = || EngineConfig::new(Shape::sr_array(2, 3).expect("valid")).with_perfect_knowledge();
+    let arena = mimd_harness::shared_arena(&spec, 9, 1_000);
+    bench("engine_replay/legacy_generate", || {
+        let trace = spec.generate(black_box(9), 1_000);
+        let mut sim = ArraySim::new(cfg(), trace.data_sectors).expect("fits");
+        sim.run_trace(&trace).completed
+    });
+    bench("engine_replay/arena", || {
+        let mut sim = ArraySim::new(cfg(), arena.data_sectors()).expect("fits");
+        sim.run_source(black_box(arena.as_ref())).completed
+    });
+}
+
 fn main() {
     if std::env::var("MIMD_ALLOC_PROFILE").is_ok() {
         let data = 16_000_000u64;
@@ -444,6 +463,7 @@ fn main() {
     bench_engine_closed_loop();
     bench_engine_depth_sweep();
     bench_trace_generation();
+    bench_engine_replay();
     assert_steady_state_alloc_free();
     emit_json();
 }

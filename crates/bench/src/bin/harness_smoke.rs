@@ -10,16 +10,17 @@
 //! Exits non-zero if any thread count produces different bytes, so CI can
 //! use it as the determinism gate.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use mimd_bench::Json;
 use mimd_core::{Policy, Shape};
-use mimd_harness::{write_json, GridSpec, Workload};
+use mimd_harness::{shared_arena, write_json, GridSpec, Workload};
 use mimd_workload::{IometerSpec, SyntheticSpec};
 
 fn grid() -> GridSpec {
-    let trace = Arc::new(SyntheticSpec::cello_base().generate(7, 2_000));
+    // Shared struct-of-arrays arena: generated once per process, replayed
+    // by every cell of every grid below without cloning requests.
+    let trace = shared_arena(&SyntheticSpec::cello_base(), 7, 2_000);
     let data = 4 * 1024 * 1024;
     GridSpec {
         name: "harness_smoke".into(),
@@ -30,7 +31,7 @@ fn grid() -> GridSpec {
         ],
         policies: vec![None, Some(Policy::Look)],
         workloads: vec![
-            ("cello-2k".into(), Workload::Trace(trace)),
+            ("cello-2k".into(), Workload::Arena(trace)),
             (
                 "rand-read".into(),
                 Workload::Closed {

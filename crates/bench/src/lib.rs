@@ -5,6 +5,8 @@
 //! share: canonical workload construction, run helpers, and plain-text
 //! series printing so the output reads like the paper's figures.
 
+use std::sync::Arc;
+
 use mimd_core::models::DiskCharacter;
 use mimd_core::{ArraySim, EngineConfig, RunReport, Shape};
 use mimd_disk::DiskParams;
@@ -22,25 +24,32 @@ pub mod sizes {
 }
 
 /// The three paper workloads at canonical sizes (deterministic seeds).
+///
+/// The traces come from the process-wide shared registry
+/// ([`mimd_harness::shared_trace`]): every `generate()` call in a binary
+/// returns the same `Arc`-shared storage, so each stream is generated at
+/// most once per process no matter how many figures ask for it.
 pub struct Workloads {
     /// Cello minus the news disk.
-    pub cello_base: Trace,
+    pub cello_base: Arc<Trace>,
     /// The news disk.
-    pub cello_disk6: Trace,
+    pub cello_disk6: Arc<Trace>,
     /// The TPC-C disk trace.
-    pub tpcc: Trace,
+    pub tpcc: Arc<Trace>,
 }
 
 impl Workloads {
-    /// Generates all three traces.
+    /// The three shared traces (generated on first use per process).
     pub fn generate() -> Workloads {
         Workloads {
-            cello_base: SyntheticSpec::cello_base().generate(101, sizes::TRACE_REQUESTS),
-            cello_disk6: SyntheticSpec::cello_disk6().generate(102, sizes::TRACE_REQUESTS),
-            tpcc: SyntheticSpec::tpcc().generate(103, sizes::TRACE_REQUESTS),
+            cello_base: shared_trace(&SyntheticSpec::cello_base(), 101, sizes::TRACE_REQUESTS),
+            cello_disk6: shared_trace(&SyntheticSpec::cello_disk6(), 102, sizes::TRACE_REQUESTS),
+            tpcc: shared_trace(&SyntheticSpec::tpcc(), 103, sizes::TRACE_REQUESTS),
         }
     }
 }
+
+pub use mimd_harness::{shared_arena, shared_trace};
 
 /// The model-facing characteristics of the experiment drive.
 pub fn drive_character() -> DiskCharacter {
@@ -126,14 +135,49 @@ impl<'a> Job<'a> {
             }
         }
     }
+
+    /// The job's content address for the run cache: resolved config plus
+    /// workload content (see [`mimd_harness::fp`]).
+    fn fingerprint(&self) -> u64 {
+        match self {
+            Job::Trace { cfg, trace } => mimd_harness::fp::trace_job(cfg, trace),
+            Job::Closed {
+                cfg,
+                spec,
+                outstanding,
+                completions,
+            } => mimd_harness::fp::closed_job(cfg, spec, *outstanding, *completions),
+        }
+    }
 }
 
 /// Runs every job across the harness thread pool (`MIMD_THREADS` workers,
 /// defaulting to the machine's parallelism) and returns the reports in job
 /// order. Each job runs one single-threaded simulator; results are merged
 /// back in order, so output does not depend on the worker count.
+///
+/// Jobs are memoized through the content-addressed run cache
+/// ([`mimd_harness::RunCache`]): an unchanged job on unchanged code
+/// decodes its stored report instead of simulating. The per-binary
+/// hit/miss tally is printed once per call. `MIMD_NO_CACHE=1` forces
+/// cold runs.
 pub fn run_jobs(jobs: Vec<Job<'_>>) -> Vec<RunReport> {
-    mimd_harness::parallel_map(jobs, Job::run)
+    let cache = mimd_harness::RunCache::from_env();
+    let reports = mimd_harness::parallel_map(jobs, |job| {
+        cache.get_or_run(job.fingerprint(), || job.run())
+    });
+    cache.report_summary(&binary_name());
+    reports
+}
+
+/// The running binary's file stem, for cache-summary labels.
+fn binary_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem()?.to_str().map(str::to_owned))
+        .unwrap_or_else(|| "bench".to_string())
 }
 
 /// Accumulates one experiment's machine-readable record and writes it to

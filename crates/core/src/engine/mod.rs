@@ -22,12 +22,12 @@
 pub mod cache;
 pub mod report;
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use mimd_disk::DiskParams;
 use mimd_disk::{Geometry, PositionKnowledge, SeekProfile, SimDisk, Target, TimingPath};
 use mimd_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use mimd_workload::{IometerSpec, Op, Trace};
+use mimd_workload::{IometerSpec, Op, RequestSource, Trace};
 
 use crate::config::Shape;
 use crate::dqueue::{DriveQueue, TaskId};
@@ -257,7 +257,7 @@ impl Schedulable for PendingTask {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Logical {
     arrival: SimTime,
     op: Op,
@@ -268,48 +268,135 @@ struct Logical {
     failed: bool,
 }
 
+/// Packed [`Logical`] flags: bits 0–1 the op tag, bit 2 failed, bit 3
+/// slot-live.
+mod lflag {
+    use mimd_workload::Op;
+
+    pub const FAILED: u8 = 1 << 2;
+    pub const LIVE: u8 = 1 << 3;
+
+    pub fn op_bits(op: Op) -> u8 {
+        match op {
+            Op::Read => 0,
+            Op::SyncWrite => 1,
+            Op::AsyncWrite => 2,
+        }
+    }
+
+    pub fn op_of(flags: u8) -> Op {
+        match flags & 0b11 {
+            0 => Op::Read,
+            1 => Op::SyncWrite,
+            _ => Op::AsyncWrite,
+        }
+    }
+}
+
 /// Live logical requests, addressed by their sequential id.
 ///
 /// Ids are issued monotonically, so the live set always sits in a
-/// contiguous id window: a ring of `Option<Logical>` slots indexed by
-/// `id - base` gives O(1) insert/lookup/remove with no per-entry node
-/// allocation (the previous `BTreeMap` cost one node split per ~handful
-/// of requests on the hot path).
+/// contiguous id window: ring buffers indexed by `id - base` give O(1)
+/// insert/lookup/remove with no per-entry node allocation (the original
+/// `BTreeMap` cost one node split per ~handful of requests on the hot
+/// path). Storage is struct-of-arrays: the completion hot path only
+/// touches `parts` + `flags` (5 bytes/slot instead of a 40-byte struct),
+/// so part-countdown traffic stays in a fraction of the cache lines, and
+/// the full record is only gathered when the request actually completes.
 #[derive(Debug, Default)]
 struct LogicalTable {
     base: u64,
-    slots: VecDeque<Option<Logical>>,
+    arrivals: VecDeque<SimTime>,
+    lbns: VecDeque<u64>,
+    sectors: VecDeque<u32>,
+    parts: VecDeque<u32>,
+    flags: VecDeque<u8>,
     live: usize,
 }
 
 impl LogicalTable {
     fn insert(&mut self, id: u64, l: Logical) {
-        debug_assert_eq!(id, self.base + self.slots.len() as u64);
-        self.slots.push_back(Some(l));
+        debug_assert_eq!(id, self.base + self.arrivals.len() as u64);
+        self.arrivals.push_back(l.arrival);
+        self.lbns.push_back(l.lbn);
+        self.sectors.push_back(l.sectors);
+        self.parts.push_back(l.parts);
+        self.flags.push_back(
+            lflag::op_bits(l.op) | if l.failed { lflag::FAILED } else { 0 } | lflag::LIVE,
+        );
         self.live += 1;
     }
 
-    fn get_mut(&mut self, id: u64) -> Option<&mut Logical> {
+    fn index(&self, id: u64) -> Option<usize> {
         let idx = id.checked_sub(self.base)? as usize;
-        self.slots.get_mut(idx)?.as_mut()
+        (idx < self.flags.len() && self.flags[idx] & lflag::LIVE != 0).then_some(idx)
     }
 
-    fn remove(&mut self, id: u64) -> Option<Logical> {
-        let idx = id.checked_sub(self.base)? as usize;
-        let l = self.slots.get_mut(idx)?.take();
-        if l.is_some() {
-            self.live -= 1;
-            // Trim the drained prefix so the window tracks the live ids.
-            while matches!(self.slots.front(), Some(None)) {
-                self.slots.pop_front();
-                self.base += 1;
-            }
+    /// Counts one part done (optionally failed); returns whether the
+    /// request's last part just finished. One indexed lookup touching only
+    /// the two hot columns.
+    fn dec_part(&mut self, id: u64, failed: bool) -> Option<bool> {
+        let idx = self.index(id)?;
+        if failed {
+            self.flags[idx] |= lflag::FAILED;
         }
-        l
+        let p = self.parts[idx].saturating_sub(1);
+        self.parts[idx] = p;
+        Some(p == 0)
+    }
+
+    /// Removes a live request, gathering its full record from the columns.
+    fn take(&mut self, id: u64) -> Option<Logical> {
+        let idx = self.index(id)?;
+        let l = Logical {
+            arrival: self.arrivals[idx],
+            op: lflag::op_of(self.flags[idx]),
+            parts: self.parts[idx],
+            lbn: self.lbns[idx],
+            sectors: self.sectors[idx],
+            failed: self.flags[idx] & lflag::FAILED != 0,
+        };
+        self.flags[idx] = 0;
+        self.live -= 1;
+        // Trim the drained prefix so the window tracks the live ids.
+        while self.flags.front() == Some(&0) {
+            self.arrivals.pop_front();
+            self.lbns.pop_front();
+            self.sectors.pop_front();
+            self.parts.pop_front();
+            self.flags.pop_front();
+            self.base += 1;
+        }
+        Some(l)
     }
 
     fn is_empty(&self) -> bool {
         self.live == 0
+    }
+}
+
+/// Started mirror-duplicate generations, as a growable bitset.
+///
+/// Generations are issued from a monotone counter, so membership is a
+/// word-indexed bit test instead of a `BTreeSet` descent; a 20 000-request
+/// replay fits the whole set in ~3 KB of flat words.
+#[derive(Debug, Default)]
+struct DupSet {
+    words: Vec<u64>,
+}
+
+impl DupSet {
+    fn insert(&mut self, g: u64) {
+        let (w, b) = ((g / 64) as usize, g % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    fn contains(&self, g: u64) -> bool {
+        let (w, b) = ((g / 64) as usize, g % 64);
+        self.words.get(w).is_some_and(|&word| word >> b & 1 != 0)
     }
 }
 
@@ -370,7 +457,7 @@ pub struct ArraySim {
     events: EventQueue<Event>,
     logicals: LogicalTable,
     next_logical: u64,
-    dup_started: BTreeSet<u64>,
+    dup_started: DupSet,
     next_dup: u64,
     nvram: usize,
     cache: Option<LruCache>,
@@ -461,7 +548,7 @@ impl ArraySim {
             cfg,
             logicals: LogicalTable::default(),
             next_logical: 0,
-            dup_started: BTreeSet::new(),
+            dup_started: DupSet::default(),
             next_dup: 0,
             nvram: 0,
             cache,
@@ -562,7 +649,7 @@ impl ArraySim {
         let mut touched = Vec::new();
         for task in orphans {
             if let Some(g) = task.dup {
-                if self.dup_started.contains(&g) {
+                if self.dup_started.contains(g) {
                     // A surviving duplicate already ran (or runs) elsewhere.
                     continue;
                 }
@@ -626,15 +713,7 @@ impl ArraySim {
 
     /// Marks one part of a logical request done (optionally failed).
     fn finish_part(&mut self, now: SimTime, logical: u64, failed: bool) {
-        let done = {
-            let Some(l) = self.logicals.get_mut(logical) else {
-                return;
-            };
-            l.parts = l.parts.saturating_sub(1);
-            l.failed |= failed;
-            l.parts == 0
-        };
-        if done {
+        if self.logicals.dec_part(logical, failed) == Some(true) {
             self.complete_logical(now, logical);
         }
     }
@@ -646,19 +725,28 @@ impl ArraySim {
 
     /// Replays an open-loop trace to completion and reports.
     pub fn run_trace(&mut self, trace: &Trace) -> RunReport {
+        self.run_source(trace)
+    }
+
+    /// Replays any [`RequestSource`] — a [`Trace`] or a shared
+    /// struct-of-arrays [`mimd_workload::WorkloadArena`] — as an open-loop
+    /// stream. The walk is an allocation-free index cursor: each arrival
+    /// event materializes one request from the source's columns and
+    /// schedules the next.
+    pub fn run_source<S: RequestSource + ?Sized>(&mut self, source: &S) -> RunReport {
         self.arm_failures();
-        let reqs = trace.requests();
+        let n = source.len();
         let mut cursor = 0usize;
-        if !reqs.is_empty() {
-            self.events.push(reqs[0].arrival, Event::Arrival);
+        if n != 0 {
+            self.events.push(source.get(0).arrival, Event::Arrival);
         }
         while let Some((now, ev)) = self.events.pop() {
             match ev {
                 Event::Arrival => {
-                    let r = reqs[cursor];
+                    let r = source.get(cursor);
                     cursor += 1;
-                    if cursor < reqs.len() {
-                        self.events.push(reqs[cursor].arrival, Event::Arrival);
+                    if cursor < n {
+                        self.events.push(source.get(cursor).arrival, Event::Arrival);
                     }
                     self.submit(now, r.op, r.lbn, r.sectors);
                 }
@@ -666,7 +754,7 @@ impl ArraySim {
                 Event::CacheDone(id) => self.complete_logical(now, id),
                 Event::DiskFail(d) => self.on_disk_fail(now, d),
             }
-            if cursor == reqs.len() && self.logicals.is_empty() {
+            if cursor == n && self.logicals.is_empty() {
                 break;
             }
         }
@@ -1008,7 +1096,7 @@ impl ArraySim {
             let queue = &mut self.fg[disk];
             let pool = &mut self.task_pool;
             self.dup_tags[disk].retain(|&(g, id)| {
-                if started.contains(&g) {
+                if started.contains(g) {
                     if let Some(t) = queue.remove(id) {
                         if pool.len() < TASK_POOL_CAP {
                             pool.push(t);
@@ -1154,7 +1242,7 @@ impl ArraySim {
     }
 
     fn complete_logical(&mut self, now: SimTime, id: u64) {
-        let Some(l) = self.logicals.remove(id) else {
+        let Some(l) = self.logicals.take(id) else {
             return;
         };
         let response = now.saturating_since(l.arrival);

@@ -1,0 +1,77 @@
+//! Bakes a workspace code-version fingerprint into the harness at build
+//! time.
+//!
+//! The run cache keys every entry on this fingerprint (alongside the
+//! resolved config and workload content), so a cache hit can only ever be
+//! served to the *exact* code that produced it — editing any source file
+//! in the workspace changes the fingerprint and silently invalidates the
+//! whole cache. The hash is FNV-1a over every `.rs` file plus the lock
+//! file, in sorted path order, so it is stable across machines and
+//! filesystems.
+
+use std::path::{Path, PathBuf};
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets this"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("harness sits two levels below the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.push(root.join("Cargo.lock"));
+    files.sort();
+
+    let mut h: u64 = 0xcbf29ce484222325;
+    for path in &files {
+        let Ok(contents) = std::fs::read(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        fnv1a(&mut h, rel.as_bytes());
+        fnv1a(&mut h, &(contents.len() as u64).to_le_bytes());
+        fnv1a(&mut h, &contents);
+    }
+
+    println!("cargo:rustc-env=MIMD_CODE_FINGERPRINT={h:016x}");
+    // Directory watches are recursive: any source edit anywhere in the
+    // workspace re-runs this script and rebuilds the fingerprint.
+    println!("cargo:rerun-if-changed={}", root.join("crates").display());
+    println!("cargo:rerun-if-changed={}", root.join("src").display());
+    println!(
+        "cargo:rerun-if-changed={}",
+        root.join("Cargo.lock").display()
+    );
+}

@@ -8,8 +8,10 @@
 use std::sync::Arc;
 
 use mimd_core::{ArraySim, EngineConfig, Policy, RunReport, Shape};
-use mimd_workload::{IometerSpec, Trace};
+use mimd_workload::{IometerSpec, RequestSource, Trace, WorkloadArena};
 
+use crate::cache::RunCache;
+use crate::fp::{self, Fp};
 use crate::json::Json;
 use crate::pool::{configured_threads, parallel_map_with};
 
@@ -18,6 +20,9 @@ use crate::pool::{configured_threads, parallel_map_with};
 pub enum Workload {
     /// Open-loop replay of a shared trace.
     Trace(Arc<Trace>),
+    /// Open-loop replay of a shared struct-of-arrays arena (see
+    /// [`crate::shared_arena`]).
+    Arena(Arc<WorkloadArena>),
     /// Iometer-style closed loop.
     Closed {
         /// Request generator.
@@ -35,8 +40,26 @@ impl Workload {
     fn data_sectors(&self) -> u64 {
         match self {
             Workload::Trace(t) => t.data_sectors,
+            Workload::Arena(a) => a.data_sectors(),
             Workload::Closed { data_sectors, .. } => *data_sectors,
         }
+    }
+
+    /// Structural fingerprint of the workload's content (computed once per
+    /// workload per grid, then mixed into each cell's job fingerprint).
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fp::new();
+        match self {
+            Workload::Trace(t) => fp::write_source(&mut fp, t.as_ref()),
+            Workload::Arena(a) => fp::write_source(&mut fp, a.as_ref()),
+            Workload::Closed {
+                spec,
+                outstanding,
+                completions,
+                ..
+            } => fp::write_closed(&mut fp, spec, *outstanding, *completions),
+        }
+        fp.finish()
     }
 }
 
@@ -120,12 +143,36 @@ impl GridSpec {
     /// Runs with an explicit worker count and a per-cell config customizer
     /// (write mode, cache, timing path, ...). The customizer must be
     /// deterministic: it sees the fully-formed base config for each cell.
+    ///
+    /// Cells are memoized through the environment-configured [`RunCache`]:
+    /// a cell whose resolved config (post-customizer), workload content,
+    /// seed, and workspace code fingerprint all match a stored entry
+    /// returns the stored report without simulating. Set `MIMD_NO_CACHE=1`
+    /// to force cold runs.
     pub fn run_with(
         &self,
         threads: usize,
         customize: impl Fn(EngineConfig) -> EngineConfig + Sync,
     ) -> GridResult {
+        self.run_cached(threads, &RunCache::from_env(), customize)
+    }
+
+    /// [`GridSpec::run_with`] against an explicit cache (tests inject
+    /// private directories and fake code fingerprints).
+    pub fn run_cached(
+        &self,
+        threads: usize,
+        cache: &RunCache,
+        customize: impl Fn(EngineConfig) -> EngineConfig + Sync,
+    ) -> GridResult {
         let cells = self.cells();
+        // Hash each workload's content once, not once per cell: the grid
+        // re-uses one trace across every shape × policy × seed.
+        let workload_fps: Vec<u64> = self
+            .workloads
+            .iter()
+            .map(|(_, w)| w.fingerprint())
+            .collect();
         let reports = parallel_map_with(threads, cells, |cell| {
             let mut cfg = EngineConfig::new(cell.shape).with_seed(cell.seed);
             if let Some(p) = cell.policy {
@@ -133,27 +180,34 @@ impl GridSpec {
             }
             let cfg = customize(cfg);
             let (name, workload) = &self.workloads[cell.workload];
-            let mut sim = ArraySim::new(cfg, workload.data_sectors()).unwrap_or_else(|e| {
-                panic!(
-                    "grid '{}' cell {} ({} / {}): infeasible layout: {e:?}",
-                    self.name, cell.index, cell.shape, name
-                )
+            let mut job_fp = Fp::new();
+            fp::write_config(&mut job_fp, &cfg);
+            job_fp.write_u64(workload_fps[cell.workload]);
+            let report = cache.get_or_run(job_fp.finish(), || {
+                let mut sim = ArraySim::new(cfg, workload.data_sectors()).unwrap_or_else(|e| {
+                    panic!(
+                        "grid '{}' cell {} ({} / {}): infeasible layout: {e:?}",
+                        self.name, cell.index, cell.shape, name
+                    )
+                });
+                match workload {
+                    Workload::Trace(t) => sim.run_trace(t),
+                    Workload::Arena(a) => sim.run_source(a.as_ref()),
+                    Workload::Closed {
+                        spec,
+                        outstanding,
+                        completions,
+                        ..
+                    } => sim.run_closed_loop(spec, *outstanding, *completions),
+                }
             });
-            let report = match workload {
-                Workload::Trace(t) => sim.run_trace(t),
-                Workload::Closed {
-                    spec,
-                    outstanding,
-                    completions,
-                    ..
-                } => sim.run_closed_loop(spec, *outstanding, *completions),
-            };
             CellResult {
                 cell: cell.clone(),
                 workload_name: name.clone(),
                 report,
             }
         });
+        cache.report_summary(&self.name);
         GridResult {
             name: self.name.clone(),
             cells: reports,

@@ -1,0 +1,104 @@
+//! The process-wide shared-workload registry.
+//!
+//! Grid binaries used to regenerate the same synthetic trace once per
+//! grid (or worse, once per cell). The registry generates each
+//! `(spec, seed, n)` stream **once per process**, wraps it in an `Arc`,
+//! and hands the same immutable storage to every caller — so a 19-binary
+//! experiment sweep does each generation exactly once and replays share
+//! memory instead of cloning requests.
+//!
+//! Keys are structural fingerprints of the generator parameters (see
+//! [`crate::fp::write_synth_spec`]), so two call sites asking for "Cello
+//! base, seed 101, 20 000 requests" — even with separately constructed
+//! spec values — get the same `Arc`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mimd_workload::{SyntheticSpec, Trace, WorkloadArena};
+
+use crate::fp::{write_synth_spec, Fp};
+
+fn spec_key(spec: &SyntheticSpec, seed: u64, n: usize) -> u64 {
+    let mut fp = Fp::new();
+    write_synth_spec(&mut fp, spec, seed, n);
+    fp.finish()
+}
+
+fn trace_registry() -> &'static Mutex<BTreeMap<u64, Arc<Trace>>> {
+    static REG: OnceLock<Mutex<BTreeMap<u64, Arc<Trace>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn arena_registry() -> &'static Mutex<BTreeMap<u64, Arc<WorkloadArena>>> {
+    static REG: OnceLock<Mutex<BTreeMap<u64, Arc<WorkloadArena>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The shared trace for `(spec, seed, n)`, generated at most once per
+/// process.
+pub fn shared_trace(spec: &SyntheticSpec, seed: u64, n: usize) -> Arc<Trace> {
+    let key = spec_key(spec, seed, n);
+    if let Some(t) = trace_registry().lock().unwrap().get(&key) {
+        return Arc::clone(t);
+    }
+    // Generate outside the lock: generation is the expensive part, and
+    // holding the lock across it would serialize unrelated lookups. A
+    // racing duplicate generation is deterministic, so first-in wins and
+    // both callers observe identical content.
+    let trace = Arc::new(spec.generate(seed, n));
+    Arc::clone(trace_registry().lock().unwrap().entry(key).or_insert(trace))
+}
+
+/// The shared struct-of-arrays arena for `(spec, seed, n)`, built at most
+/// once per process from the shared trace.
+pub fn shared_arena(spec: &SyntheticSpec, seed: u64, n: usize) -> Arc<WorkloadArena> {
+    let key = spec_key(spec, seed, n);
+    if let Some(a) = arena_registry().lock().unwrap().get(&key) {
+        return Arc::clone(a);
+    }
+    let arena = Arc::new(WorkloadArena::from_trace(&shared_trace(spec, seed, n)));
+    Arc::clone(arena_registry().lock().unwrap().entry(key).or_insert(arena))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimd_workload::RequestSource;
+
+    #[test]
+    fn shared_trace_returns_same_arc() {
+        let spec = SyntheticSpec::cello_base();
+        let a = shared_trace(&spec, 12345, 64);
+        let b = shared_trace(&spec, 12345, 64);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share storage");
+        // Separately constructed but equal specs also share.
+        let c = shared_trace(&SyntheticSpec::cello_base(), 12345, 64);
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn different_parameters_are_distinct() {
+        let spec = SyntheticSpec::tpcc();
+        let a = shared_trace(&spec, 1, 32);
+        let b = shared_trace(&spec, 2, 32);
+        let c = shared_trace(&spec, 1, 33);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.len(), 32);
+        assert_eq!(c.len(), 33);
+    }
+
+    #[test]
+    fn shared_arena_matches_shared_trace() {
+        let spec = SyntheticSpec::cello_disk6();
+        let trace = shared_trace(&spec, 777, 40);
+        let arena = shared_arena(&spec, 777, 40);
+        let again = shared_arena(&spec, 777, 40);
+        assert!(Arc::ptr_eq(&arena, &again));
+        assert_eq!(arena.len(), trace.len());
+        for i in 0..trace.len() {
+            assert_eq!(arena.get(i), trace.get(i), "request {i}");
+        }
+    }
+}

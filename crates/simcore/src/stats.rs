@@ -111,6 +111,26 @@ impl OnlineStats {
         self.mean() * self.count as f64
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max)`.
+    ///
+    /// For exact externalisation (e.g. the harness run cache): the tuple
+    /// round-trips bit-exactly through [`Self::from_state`], so a restored
+    /// accumulator reports the same mean/variance/extremes to the last bit.
+    pub fn state(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from a [`Self::state`] tuple.
+    pub fn from_state(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        OnlineStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -224,6 +244,23 @@ impl SampleSet {
     pub fn sorted_values(&mut self) -> &[f64] {
         self.ensure_sorted();
         &self.values
+    }
+
+    /// The raw samples in their current storage order.
+    ///
+    /// Storage order is incidental (percentile queries may partially
+    /// reorder it) but the *multiset* of values fully determines every
+    /// query result, so this suffices for exact externalisation.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a set from raw samples (e.g. from [`Self::values`]).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        SampleSet {
+            values,
+            sorted: false,
+        }
     }
 }
 

@@ -28,6 +28,12 @@
 //!   is the one layer allowed to spawn threads, and it keeps determinism
 //!   by running one private simulator per job and merging results in job
 //!   order. (`Arc` is fine — shared *immutable* data has no ordering.)
+//! - [`Rule::CacheHygiene`] — no stray filesystem writes in the bench and
+//!   harness crates. Experiment artifacts belong under the `MIMD_JSON_DIR`
+//!   root and cache entries under `MIMD_CACHE_DIR`; any `std::fs` write
+//!   call elsewhere is flagged so binaries can't scatter state that the
+//!   run cache's correctness story doesn't cover. Writes through the
+//!   sanctioned roots carry a waiver at the call site.
 //!
 //! Test modules (`#[cfg(test)]`), doc comments, strings, and the
 //! `tests/`, `benches/`, and `examples/` trees are exempt. A violation
@@ -54,6 +60,9 @@ pub enum Rule {
     Panic,
     /// Threading/synchronization primitives below the harness layer.
     Parallelism,
+    /// Filesystem writes outside the sanctioned env-var roots in bench /
+    /// harness code.
+    CacheHygiene,
 }
 
 impl Rule {
@@ -65,6 +74,7 @@ impl Rule {
             Rule::TimeUnits => "time-units",
             Rule::Panic => "panic",
             Rule::Parallelism => "parallelism",
+            Rule::CacheHygiene => "cache-hygiene",
         }
     }
 
@@ -75,6 +85,7 @@ impl Rule {
             "time-units" => Some(Rule::TimeUnits),
             "panic" => Some(Rule::Panic),
             "parallelism" => Some(Rule::Parallelism),
+            "cache-hygiene" => Some(Rule::CacheHygiene),
             _ => None,
         }
     }
@@ -117,6 +128,7 @@ pub struct Scope {
     time_units: bool,
     panic: bool,
     parallelism: bool,
+    cache_hygiene: bool,
 }
 
 impl Scope {
@@ -127,6 +139,7 @@ impl Scope {
         time_units: false,
         panic: false,
         parallelism: false,
+        cache_hygiene: false,
     };
 
     /// Derives the applicable rules from a workspace-relative path
@@ -151,12 +164,18 @@ impl Scope {
             time_units: sim_crate && rel != "crates/simcore/src/time.rs",
             panic: rel.starts_with("crates/core/src/engine/") || in_src_of("diskmodel"),
             parallelism: sim_crate,
+            cache_hygiene: in_src_of("bench") || in_src_of("harness"),
         }
     }
 
     /// Whether no rule applies.
     pub fn is_exempt(&self) -> bool {
-        !(self.determinism || self.collections || self.time_units || self.panic || self.parallelism)
+        !(self.determinism
+            || self.collections
+            || self.time_units
+            || self.panic
+            || self.parallelism
+            || self.cache_hygiene)
     }
 }
 
@@ -543,6 +562,23 @@ const PARALLELISM: [(&str, &str); 8] = [
     ),
 ];
 
+/// Filesystem-write entry points covered by the cache-hygiene rule.
+///
+/// Bench and harness code may only write under the `MIMD_JSON_DIR` and
+/// `MIMD_CACHE_DIR` roots; the sanctioned helpers (`write_json`, the run
+/// cache's store path) carry explicit waivers at each call site, so any
+/// *new* write call is flagged until it is either routed through them or
+/// justified.
+const FS_WRITES: [&str; 7] = [
+    "fs::write",
+    "File::create",
+    "create_dir_all",
+    "OpenOptions",
+    "fs::rename",
+    "fs::remove_file",
+    "fs::copy",
+];
+
 /// Lints one file's source text under the given scope.
 ///
 /// `rel_path` is used only for diagnostics. This is the pure core the
@@ -621,6 +657,21 @@ pub fn lint_source(rel_path: &str, scope: Scope, source: &str) -> Vec<Violation>
                 }
             }
         }
+        if scope.cache_hygiene && !allowed(Rule::CacheHygiene) {
+            for needle in FS_WRITES {
+                if has_token(code, needle) {
+                    push(
+                        Rule::CacheHygiene,
+                        format!(
+                            "`{needle}` writes the filesystem outside the sanctioned \
+                             `MIMD_JSON_DIR`/`MIMD_CACHE_DIR` helpers; route through \
+                             `mimd_harness::write_json` / the run cache, or waive with \
+                             a why"
+                        ),
+                    );
+                }
+            }
+        }
     }
     out
 }
@@ -691,12 +742,25 @@ mod tests {
         assert!(!Scope::for_path("crates/simcore/src/time.rs").time_units);
         assert!(Scope::for_path("crates/simcore/src/rng.rs").time_units);
         assert!(Scope::for_path("crates/core/tests/model_properties.rs").is_exempt());
-        assert!(Scope::for_path("crates/bench/src/bin/fig05_validation.rs").is_exempt());
         assert!(Scope::for_path("examples/quickstart.rs").is_exempt());
         assert!(Scope::for_path("crates/simlint/src/lib.rs").is_exempt());
-        // Threading is allowed only above the simulation layer: the
-        // harness and bench crates are exempt, every sim crate is not.
-        assert!(Scope::for_path("crates/harness/src/pool.rs").is_exempt());
+        // Bench and harness sources carry ONLY the cache-hygiene rule:
+        // they may thread and time freely (they sit above the simulation
+        // layer) but may not write the filesystem outside the sanctioned
+        // env-var roots.
+        let bench_bin = Scope::for_path("crates/bench/src/bin/fig05_validation.rs");
+        assert!(bench_bin.cache_hygiene && !bench_bin.is_exempt());
+        assert!(!(bench_bin.parallelism || bench_bin.determinism || bench_bin.panic));
+        let pool = Scope::for_path("crates/harness/src/pool.rs");
+        assert!(pool.cache_hygiene && !pool.is_exempt());
+        assert!(!(pool.parallelism || pool.determinism || pool.time_units));
+        // Their tests/ and benches/ trees stay wholly exempt (they write
+        // scratch files under temp dirs).
+        assert!(Scope::for_path("crates/harness/tests/cache_properties.rs").is_exempt());
+        assert!(Scope::for_path("crates/bench/benches/hot_paths.rs").is_exempt());
+        // Simulation crates never get the cache-hygiene rule; they have no
+        // business touching the filesystem at all (determinism covers it).
+        assert!(!Scope::for_path("crates/core/src/engine/mod.rs").cache_hygiene);
         assert!(Scope::for_path("crates/simcore/src/event.rs").parallelism);
         assert!(Scope::for_path("crates/core/src/engine/mod.rs").parallelism);
         assert!(Scope::for_path("crates/diskmodel/src/disk.rs").parallelism);
@@ -837,6 +901,55 @@ mod tests {
         let src = "use std::sync::atomic::AtomicUsize;\nfn go() { std::thread::scope(|_| {}); }\n";
         let rel = "crates/harness/src/pool.rs";
         let v = lint_source(rel, Scope::for_path(rel), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fs_writes_flagged_in_bench_and_harness() {
+        let src = "fn save() {\n    std::fs::write(\"out.json\", b\"x\").unwrap();\n    \
+                   let f = std::fs::File::create(\"log.txt\");\n    \
+                   std::fs::create_dir_all(\"scratch\").ok();\n    let _ = f;\n}\n";
+        for rel in [
+            "crates/bench/src/bin/fig06_cello_latency.rs",
+            "crates/harness/src/cache.rs",
+        ] {
+            let v = lint_source(rel, Scope::for_path(rel), src);
+            assert_eq!(
+                rules(&v),
+                vec![
+                    (2, Rule::CacheHygiene),
+                    (3, Rule::CacheHygiene),
+                    (4, Rule::CacheHygiene)
+                ],
+                "{rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn fs_writes_waivable_and_out_of_scope_elsewhere() {
+        let waived = "fn save(dir: &std::path::Path) {\n    \
+                      // simlint: allow(cache-hygiene) — entry under MIMD_CACHE_DIR\n    \
+                      let _ = std::fs::write(dir.join(\"x\"), b\"x\");\n}\n";
+        let rel = "crates/harness/src/cache.rs";
+        let v = lint_source(rel, Scope::for_path(rel), waived);
+        assert!(v.is_empty(), "{v:?}");
+        // Rename/remove/copy/OpenOptions are covered too.
+        let more = "fn f() {\n    std::fs::rename(\"a\", \"b\").ok();\n    \
+                    std::fs::remove_file(\"a\").ok();\n    \
+                    std::fs::copy(\"a\", \"b\").ok();\n    \
+                    let o = std::fs::OpenOptions::new();\n    let _ = o;\n}\n";
+        let v = lint_source(rel, Scope::for_path(rel), more);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::CacheHygiene));
+        // simlint's own sources (and sim crates) are out of scope for this
+        // rule: a write there is someone else's problem, not hygiene's.
+        let sim = lint_source(SIM, Scope::for_path(SIM), more);
+        assert!(sim.iter().all(|x| x.rule != Rule::CacheHygiene), "{sim:?}");
+        // Reads are not writes: never flagged.
+        let reads = "fn f() {\n    let _ = std::fs::read(\"a\");\n    \
+                     let _ = std::fs::read_to_string(\"b\");\n}\n";
+        let v = lint_source(rel, Scope::for_path(rel), reads);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -1,0 +1,147 @@
+//! Shared, struct-of-arrays workload storage.
+//!
+//! Experiment grids replay the same request stream into dozens of
+//! simulator configurations. [`WorkloadArena`] stores one generated
+//! stream in struct-of-arrays form — parallel `arrivals` / `ops` / `lbns`
+//! / `sectors` columns — behind an `Arc`, so every grid job walks the
+//! same immutable memory instead of regenerating (or cloning) the trace
+//! per job. Replay is an index walk: [`RequestSource::get`] reassembles
+//! the `i`-th [`Request`] from the columns without allocating.
+//!
+//! [`RequestSource`] is the replay abstraction the engine consumes: both
+//! [`Trace`] (array-of-structs, the construction/transformation type) and
+//! [`WorkloadArena`] implement it, and `ArraySim::run_source` accepts
+//! either. A trace and the arena built from it replay **identically** —
+//! `get` returns the same `Request` values in the same order — which is
+//! what keeps the arena path value-exact (see the round-trip test).
+
+use mimd_sim::SimTime;
+
+use crate::request::{Op, Request};
+use crate::trace::Trace;
+
+/// An indexed, immutable request stream the engine can replay.
+pub trait RequestSource {
+    /// Human-readable stream name (for labels and fingerprints).
+    fn source_name(&self) -> &str;
+    /// Size of the logical data set, in sectors.
+    fn data_sectors(&self) -> u64;
+    /// Number of requests.
+    fn len(&self) -> usize;
+    /// The `i`-th request, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn get(&self, i: usize) -> Request;
+    /// Whether the stream is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RequestSource for Trace {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn data_sectors(&self) -> u64 {
+        self.data_sectors
+    }
+    fn len(&self) -> usize {
+        self.requests().len()
+    }
+    fn get(&self, i: usize) -> Request {
+        self.requests()[i]
+    }
+}
+
+/// One request stream in struct-of-arrays layout.
+///
+/// # Examples
+///
+/// ```
+/// use mimd_workload::{RequestSource, SyntheticSpec, WorkloadArena};
+///
+/// let trace = SyntheticSpec::cello_base().generate(1, 100);
+/// let arena = WorkloadArena::from_trace(&trace);
+/// assert_eq!(arena.len(), trace.len());
+/// assert_eq!(arena.get(42), trace.requests()[42]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadArena {
+    name: String,
+    data_sectors: u64,
+    arrivals: Vec<SimTime>,
+    ops: Vec<Op>,
+    lbns: Vec<u64>,
+    sectors: Vec<u32>,
+}
+
+impl WorkloadArena {
+    /// Builds an arena holding `trace`'s requests in column form.
+    pub fn from_trace(trace: &Trace) -> WorkloadArena {
+        let reqs = trace.requests();
+        WorkloadArena {
+            name: trace.name.clone(),
+            data_sectors: trace.data_sectors,
+            arrivals: reqs.iter().map(|r| r.arrival).collect(),
+            ops: reqs.iter().map(|r| r.op).collect(),
+            lbns: reqs.iter().map(|r| r.lbn).collect(),
+            sectors: reqs.iter().map(|r| r.sectors).collect(),
+        }
+    }
+
+    /// The stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl RequestSource for WorkloadArena {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn data_sectors(&self) -> u64 {
+        self.data_sectors
+    }
+    fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+    fn get(&self, i: usize) -> Request {
+        Request {
+            // Trace construction renumbers ids to 0..n in arrival order,
+            // so the index IS the id.
+            id: i as u64,
+            arrival: self.arrivals[i],
+            op: self.ops[i],
+            lbn: self.lbns[i],
+            sectors: self.sectors[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticSpec;
+
+    #[test]
+    fn arena_round_trips_trace_exactly() {
+        let trace = SyntheticSpec::tpcc().generate(9, 500);
+        let arena = WorkloadArena::from_trace(&trace);
+        assert_eq!(arena.source_name(), trace.source_name());
+        assert_eq!(arena.data_sectors(), trace.data_sectors);
+        assert_eq!(arena.len(), trace.len());
+        for (i, &want) in trace.requests().iter().enumerate() {
+            assert_eq!(arena.get(i), want, "request {i}");
+        }
+    }
+
+    #[test]
+    fn empty_arena() {
+        let trace = Trace::new("empty", 1_000, vec![]);
+        let arena = WorkloadArena::from_trace(&trace);
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+    }
+}

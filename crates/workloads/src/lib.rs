@@ -12,6 +12,8 @@
 //!   statistics ([`SyntheticSpec`]).
 //! - [`iometer`]: the closed-loop micro-benchmark generator
 //!   ([`IometerSpec`]).
+//! - [`arena`]: shared struct-of-arrays request storage and the
+//!   [`RequestSource`] replay abstraction ([`WorkloadArena`]).
 //!
 //! # Examples
 //!
@@ -23,6 +25,7 @@
 //! assert!(stats.read_frac > 0.4);
 //! ```
 
+pub mod arena;
 pub mod io;
 pub mod iometer;
 pub mod request;
@@ -30,6 +33,7 @@ pub mod stats;
 pub mod synth;
 pub mod trace;
 
+pub use arena::{RequestSource, WorkloadArena};
 pub use iometer::{Access, IometerSpec};
 pub use request::{Op, Request};
 pub use stats::TraceStats;
