@@ -31,6 +31,7 @@ use mimd_workload::{IometerSpec, Op, RequestSource, Trace};
 
 use crate::config::Shape;
 use crate::dqueue::{DriveQueue, TaskId};
+use crate::faults::{FaultCtx, FaultPlan, RebuildState};
 use crate::layout::{
     Fragment, Layout, LayoutError, Replica, ReplicaPlacement, DEFAULT_STRIPE_UNIT,
 };
@@ -109,6 +110,10 @@ pub struct EngineConfig {
     pub read_ahead: bool,
     /// Random seed (spindle phases, head-tracking error).
     pub seed: u64,
+    /// Fault-injection plan. The default (empty) plan disables the fault
+    /// layer entirely: no extra RNG streams, no extra events, byte-identical
+    /// reports (value-neutrality).
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -139,6 +144,7 @@ impl EngineConfig {
             replica_placement: ReplicaPlacement::Even,
             read_ahead: false,
             seed: 42,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -171,6 +177,12 @@ impl EngineConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -211,6 +223,10 @@ enum TaskKind {
     WriteFirst,
     /// One delayed replica propagation.
     Delayed,
+    /// A hot-spare rebuild chunk read on a surviving mirror. Rides the
+    /// delayed queue so foreground work wins the disk, and stays out of
+    /// the foreground latency accounting.
+    Rebuild,
 }
 
 #[derive(Debug, Clone)]
@@ -226,6 +242,10 @@ struct PendingTask {
     dup: Option<u64>,
     /// Coalescing key for delayed entries.
     key: (u64, u8, u8),
+    /// Retry attempts consumed so far (fault layer).
+    attempt: u8,
+    /// Timeout-tracking stamp; `0` means no timeout is armed on this task.
+    track: u64,
 }
 
 impl PendingTask {
@@ -241,6 +261,8 @@ impl PendingTask {
             enqueued: SimTime::ZERO,
             dup: None,
             key: (0, 0, 0),
+            attempt: 0,
+            track: 0,
         }
     }
 }
@@ -416,6 +438,25 @@ enum Event {
     CacheDone(u64),
     /// A disk fails (fault injection).
     DiskFail(usize),
+    /// A fail-slow window opens on a disk.
+    SlowStart(usize),
+    /// A fail-slow window closes on a disk.
+    SlowEnd(usize),
+    /// A read's simulated-time timeout fires. Stale ids (the task already
+    /// dispatched or completed) make this a no-op thanks to the queue's
+    /// generation-tagged ids; `track` double-checks against slot reuse.
+    Timeout {
+        /// Disk whose foreground queue held the read.
+        disk: usize,
+        /// Queue id the timeout was armed against.
+        id: TaskId,
+        /// The task's timeout stamp at arming time.
+        track: u64,
+    },
+    /// The hot spare for a failed disk comes online and copying begins.
+    RebuildStart(usize),
+    /// The spare finished writing one rebuild chunk (all `Dr` replicas).
+    SpareDone(usize),
 }
 
 struct ClosedLoop {
@@ -468,6 +509,9 @@ pub struct ArraySim {
     last_completion: SimTime,
     dead: Vec<bool>,
     pending_failures: Vec<(SimTime, usize)>,
+    /// Fault-injection context; `None` for an empty [`FaultPlan`], which
+    /// keeps every fault hook an inert `is_some()` test (value-neutrality).
+    faults: Option<Box<FaultCtx>>,
     /// Reusable buffer for the multi-replica write chain in dispatch.
     write_scratch: Vec<Target>,
     /// Reusable fragment buffer for `submit`.
@@ -531,6 +575,20 @@ impl ArraySim {
         // Disk-completion events land within a few rotations of "now"; a
         // calendar wheel sized to that horizon makes push/pop O(1).
         let horizon_ns = disks.first().map_or(1 << 24, |d| 4 * d.rotation_ns());
+        // Fault layer: built only for non-empty plans, after every healthy
+        // RNG draw above, from its own named stream — the engine's RNG
+        // sequence is untouched either way.
+        let faults = if cfg.faults.is_empty() {
+            None
+        } else {
+            let ctx = FaultCtx::new(&cfg.faults, cfg.seed, n);
+            for w in &ctx.plan.fail_slow {
+                if w.disk < n {
+                    disks[w.disk].add_fail_slow(w.from, w.until, w.factor);
+                }
+            }
+            Some(Box::new(ctx))
+        };
         Ok(ArraySim {
             layout,
             disks,
@@ -559,6 +617,7 @@ impl ArraySim {
             last_completion: SimTime::ZERO,
             dead: vec![false; n],
             pending_failures: Vec::new(),
+            faults,
             write_scratch: Vec::new(),
             frag_scratch: Vec::new(),
             plan_replicas: Vec::new(),
@@ -611,6 +670,11 @@ impl ArraySim {
                 Event::DiskDone(d) => self.on_disk_done(now, d),
                 Event::CacheDone(id) => self.complete_logical(now, id),
                 Event::DiskFail(d) => self.on_disk_fail(now, d),
+                Event::SlowStart(d) => self.on_slow_edge(d, true),
+                Event::SlowEnd(d) => self.on_slow_edge(d, false),
+                Event::Timeout { disk, id, track } => self.on_timeout(now, disk, id, track),
+                Event::RebuildStart(d) => self.on_rebuild_start(now, d),
+                Event::SpareDone(d) => self.on_spare_done(now, d),
             }
             if self.nvram == 0 && self.events.is_empty() {
                 break;
@@ -623,6 +687,23 @@ impl ArraySim {
         for (at, disk) in std::mem::take(&mut self.pending_failures) {
             self.events.push(at, Event::DiskFail(disk));
         }
+        let n = self.disks.len();
+        if let Some(ctx) = self.faults.as_mut() {
+            if !ctx.armed {
+                ctx.armed = true;
+                for f in &ctx.plan.fail_stop {
+                    if f.disk < n {
+                        self.events.push(f.at, Event::DiskFail(f.disk));
+                    }
+                }
+                for w in &ctx.plan.fail_slow {
+                    if w.disk < n {
+                        self.events.push(w.from, Event::SlowStart(w.disk));
+                        self.events.push(w.until, Event::SlowEnd(w.disk));
+                    }
+                }
+            }
+        }
     }
 
     fn on_disk_fail(&mut self, now: SimTime, disk: usize) {
@@ -630,8 +711,18 @@ impl ArraySim {
             return;
         }
         self.dead[disk] = true;
-        // Unpropagated replicas bound for this disk are moot.
-        let dropped = self.delayed[disk].len();
+        // Unpropagated replicas bound for this disk are moot. Only true
+        // delayed propagations hold NVRAM entries — rebuild chunk reads
+        // ride the same queue without one.
+        let dropped = self.delayed[disk]
+            .ids()
+            .iter()
+            .filter(|&&id| {
+                self.delayed[disk]
+                    .get(id)
+                    .is_some_and(|t| t.kind == TaskKind::Delayed)
+            })
+            .count();
         self.delayed[disk].clear();
         self.delayed_keys[disk].clear();
         self.nvram = self.nvram.saturating_sub(dropped);
@@ -661,6 +752,38 @@ impl ArraySim {
         for d in touched {
             self.try_dispatch(now, d);
         }
+        // Hot spare: arm the rebuild state machine if the plan provides
+        // one for this disk, or re-issue a chunk whose copy source died
+        // mid-read (chunks mid-write to the spare are unaffected — the
+        // data already left the source).
+        let mut reissue = false;
+        if let Some(ctx) = self.faults.as_mut() {
+            let spared = ctx.plan.fail_stop.iter().any(|f| f.disk == disk && f.spare);
+            if spared && ctx.rebuild.is_none() {
+                ctx.rebuild = Some(RebuildState {
+                    disk,
+                    started: now,
+                    next: 0,
+                    total: self.layout.per_disk_data_sectors(),
+                    pending: 0,
+                    source: usize::MAX,
+                    copying: false,
+                    writing: false,
+                });
+                self.events.push(
+                    now + ctx.plan.rebuild.spare_delay,
+                    Event::RebuildStart(disk),
+                );
+            } else if let Some(r) = ctx.rebuild.as_mut() {
+                if r.copying && r.source == disk && r.pending > 0 && !r.writing {
+                    r.pending = 0;
+                    reissue = true;
+                }
+            }
+        }
+        if reissue {
+            self.rebuild_issue_chunk(now);
+        }
     }
 
     /// Re-dispatches a task from a failed disk onto surviving copies,
@@ -668,6 +791,8 @@ impl ArraySim {
     fn rehome_task(&mut self, task: PendingTask, now: SimTime, touched: &mut Vec<usize>) {
         match task.kind {
             TaskKind::Delayed => {}
+            // A dropped chunk read is re-issued by `on_disk_fail`.
+            TaskKind::Rebuild => {}
             TaskKind::WriteAll => {
                 // The surviving mirrors hold their own WriteAll tasks; the
                 // write only fails outright if no live copy remains.
@@ -753,6 +878,11 @@ impl ArraySim {
                 Event::DiskDone(d) => self.on_disk_done(now, d),
                 Event::CacheDone(id) => self.complete_logical(now, id),
                 Event::DiskFail(d) => self.on_disk_fail(now, d),
+                Event::SlowStart(d) => self.on_slow_edge(d, true),
+                Event::SlowEnd(d) => self.on_slow_edge(d, false),
+                Event::Timeout { disk, id, track } => self.on_timeout(now, disk, id, track),
+                Event::RebuildStart(d) => self.on_rebuild_start(now, d),
+                Event::SpareDone(d) => self.on_spare_done(now, d),
             }
             if cursor == n && self.logicals.is_empty() {
                 break;
@@ -785,6 +915,11 @@ impl ArraySim {
                 Event::DiskDone(d) => self.on_disk_done(now, d),
                 Event::CacheDone(id) => self.complete_logical(now, id),
                 Event::DiskFail(d) => self.on_disk_fail(now, d),
+                Event::SlowStart(d) => self.on_slow_edge(d, true),
+                Event::SlowEnd(d) => self.on_slow_edge(d, false),
+                Event::Timeout { disk, id, track } => self.on_timeout(now, disk, id, track),
+                Event::RebuildStart(d) => self.on_rebuild_start(now, d),
+                Event::SpareDone(d) => self.on_spare_done(now, d),
             }
             if self.report.completed >= completions {
                 break;
@@ -798,6 +933,15 @@ impl ArraySim {
         if let Some(c) = &self.cache {
             self.report.cache_hits = c.hits();
             self.report.cache_misses = c.misses();
+        }
+        if let Some(ctx) = self.faults.as_mut() {
+            self.report.faults = std::mem::replace(
+                &mut ctx.report,
+                report::FaultReport {
+                    active: true,
+                    ..report::FaultReport::default()
+                },
+            );
         }
         std::mem::take(&mut self.report)
     }
@@ -952,7 +1096,58 @@ impl ArraySim {
         t.enqueued = now;
         t.dup = None;
         t.key = (frag.lbn, 0, 0);
+        t.attempt = 0;
+        t.track = 0;
         t
+    }
+
+    /// Dispatches a read (or first-copy write), steering it away from
+    /// disks inside a fail-slow window first when the plan asks for
+    /// redirection and a healthy copy exists — the fault layer's only
+    /// dispatch-path hook.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_mirrored(
+        &mut self,
+        logical: u64,
+        frag: Fragment,
+        write: bool,
+        kind: TaskKind,
+        groups: &[Replica],
+        now: SimTime,
+        touched: &mut Vec<usize>,
+    ) {
+        let dr = self.layout.shape().dr.max(1) as usize;
+        let mut filtered: Option<Vec<Replica>> = None;
+        if !write && groups.len() > dr {
+            if let Some(ctx) = self.faults.as_mut() {
+                if ctx.plan.redirect && ctx.any_slow() {
+                    let mut buf = std::mem::take(&mut ctx.redirect_scratch);
+                    buf.clear();
+                    for g in groups.chunks_exact(dr) {
+                        if ctx.slow_now.get(g[0].disk).copied().unwrap_or(0) == 0 {
+                            buf.extend_from_slice(g);
+                        }
+                    }
+                    if !buf.is_empty() && buf.len() < groups.len() {
+                        ctx.report.redirects += 1;
+                        filtered = Some(buf);
+                    } else {
+                        // Every copy (or none) is slow: no steering to do.
+                        buf.clear();
+                        ctx.redirect_scratch = buf;
+                    }
+                }
+            }
+        }
+        if let Some(mut buf) = filtered {
+            self.dispatch_groups(logical, frag, write, kind, &buf, now, touched);
+            buf.clear();
+            if let Some(ctx) = self.faults.as_mut() {
+                ctx.redirect_scratch = buf;
+            }
+        } else {
+            self.dispatch_groups(logical, frag, write, kind, groups, now, touched);
+        }
     }
 
     /// Dispatches a read (or first-copy write) according to the mirror
@@ -961,7 +1156,7 @@ impl ArraySim {
     /// `groups` is the flat dead-filtered replica buffer: runs of `Dr`
     /// replicas, one run per surviving mirror disk.
     #[allow(clippy::too_many_arguments)]
-    fn dispatch_mirrored(
+    fn dispatch_groups(
         &mut self,
         logical: u64,
         frag: Fragment,
@@ -1029,11 +1224,28 @@ impl ArraySim {
         }
     }
 
-    fn enqueue(&mut self, disk: usize, task: PendingTask) {
+    fn enqueue(&mut self, disk: usize, mut task: PendingTask) {
+        // Arm a simulated-time timeout on single-queued reads (mirror
+        // duplicates already carry their own cancellation machinery). The
+        // deadline backs off exponentially with the task's attempt count.
+        let mut arm = None;
+        if let Some(ctx) = self.faults.as_mut() {
+            if ctx.plan.retry.enabled() && task.kind == TaskKind::Read && task.dup.is_none() {
+                ctx.next_track += 1;
+                task.track = ctx.next_track;
+                arm = Some((
+                    task.enqueued + ctx.plan.retry.timeout_for(task.attempt),
+                    task.track,
+                ));
+            }
+        }
         let dup = task.dup;
         let id = self.fg[disk].insert(task);
         if let Some(g) = dup {
             self.dup_tags[disk].push((g, id));
+        }
+        if let Some((at, track)) = arm {
+            self.events.push(at, Event::Timeout { disk, id, track });
         }
     }
 
@@ -1077,6 +1289,8 @@ impl ArraySim {
         t.enqueued = now;
         t.dup = None;
         t.key = key;
+        t.attempt = 0;
+        t.track = 0;
         let id = self.delayed[disk].insert(t);
         if self.cfg.coalesce_delayed {
             self.delayed_keys[disk].insert(key, id);
@@ -1165,7 +1379,7 @@ impl ArraySim {
         }
         pr.predicted_us.push(predicted.as_micros_f64());
         pr.actual_us.push(actual_us);
-        if task.kind != TaskKind::Delayed {
+        if !matches!(task.kind, TaskKind::Delayed | TaskKind::Rebuild) {
             self.report.seek_ms.push(first.seek.as_millis_f64());
             self.report.rotation_ms.push(first.rotation.as_millis_f64());
             self.report.transfer_ms.push(first.transfer.as_millis_f64());
@@ -1212,7 +1426,29 @@ impl ArraySim {
         let Some(fly) = self.inflight[disk].take() else {
             return;
         };
+        if fly.task.kind == TaskKind::Rebuild {
+            self.on_rebuild_read_done(now, disk, fly.task);
+            return;
+        }
+        // Transient media errors surface at completion time, drawn from
+        // the dedicated fault stream (foreground operations only; delayed
+        // propagations re-run from the NVRAM table on a real array).
+        if let Some(ctx) = self.faults.as_mut() {
+            if ctx.plan.media.enabled() && fly.task.kind != TaskKind::Delayed {
+                let rate = if fly.task.kind == TaskKind::Read {
+                    ctx.plan.media.read_rate
+                } else {
+                    ctx.plan.media.write_rate
+                };
+                if rate > 0.0 && ctx.rng.chance(rate) {
+                    ctx.report.media_errors += 1;
+                    self.on_media_error(now, disk, fly.task);
+                    return;
+                }
+            }
+        }
         match fly.task.kind {
+            TaskKind::Rebuild => {}
             TaskKind::Delayed => {
                 self.nvram = self.nvram.saturating_sub(1);
                 self.report.delayed_propagated += 1;
@@ -1241,6 +1477,312 @@ impl ArraySim {
         self.try_dispatch(now, disk);
     }
 
+    /// A read's simulated-time timeout fired. If the read still sits in
+    /// the foreground queue it is pulled and retried (alternate replica
+    /// where one survives); a read already dispatched or completed makes
+    /// this a no-op — the generation-tagged id resolves to nothing.
+    fn on_timeout(&mut self, now: SimTime, disk: usize, id: TaskId, track: u64) {
+        if self.dead[disk] {
+            return; // the queue died with the disk; rehoming handled it
+        }
+        if !self.fg[disk]
+            .get(id)
+            .is_some_and(|t| t.track == track && t.kind == TaskKind::Read)
+        {
+            return;
+        }
+        let Some(task) = self.fg[disk].remove(id) else {
+            return;
+        };
+        if let Some(ctx) = self.faults.as_mut() {
+            ctx.report.timeouts += 1;
+        }
+        self.retry_or_fail(now, task, Some(disk));
+    }
+
+    /// Re-issues a read that timed out or returned a media error, on an
+    /// alternate surviving replica group when one exists (rotating with
+    /// the attempt count, skewed away from `exclude`); a read that
+    /// exhausts the attempt budget completes as failed.
+    fn retry_or_fail(&mut self, now: SimTime, mut task: PendingTask, exclude: Option<usize>) {
+        let budget = self
+            .faults
+            .as_ref()
+            .map_or(0, |ctx| ctx.plan.retry.max_retries);
+        if task.attempt >= budget {
+            if let Some(ctx) = self.faults.as_mut() {
+                ctx.report.unrecoverable += 1;
+            }
+            self.finish_part(now, task.logical, true);
+            self.recycle(task);
+            return;
+        }
+        task.attempt += 1;
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        groups.clear();
+        self.layout.write_groups_into(task.frag, &mut groups);
+        let dr = self.layout.shape().dr.max(1) as usize;
+        compact_live_groups(&mut groups, 0, dr, &self.dead);
+        let ngroups = groups.len() / dr;
+        if ngroups == 0 {
+            if let Some(ctx) = self.faults.as_mut() {
+                ctx.report.unrecoverable += 1;
+            }
+            self.finish_part(now, task.logical, true);
+            self.recycle(task);
+        } else {
+            let mut pick = task.attempt as usize % ngroups;
+            if ngroups > 1 && exclude == Some(groups[pick * dr].disk) {
+                pick = (pick + 1) % ngroups;
+            }
+            let replicas = &groups[pick * dr..(pick + 1) * dr];
+            let disk = replicas[0].disk;
+            task.targets.clear();
+            task.targets.extend(replicas.iter().map(|r| r.target));
+            task.meta.clear();
+            task.meta
+                .extend(replicas.iter().map(|r| (r.replica, r.mirror)));
+            task.enqueued = now;
+            task.dup = None;
+            if let Some(ctx) = self.faults.as_mut() {
+                ctx.report.retries += 1;
+            }
+            self.enqueue(disk, task);
+            self.try_dispatch(now, disk);
+        }
+        groups.clear();
+        self.group_scratch = groups;
+    }
+
+    /// Handles a transient media error on a completed foreground
+    /// operation. Reads retry on an alternate replica; writes retry in
+    /// place (their replica set is bound to a specific disk); either way
+    /// an exhausted budget fails the logical request.
+    fn on_media_error(&mut self, now: SimTime, disk: usize, mut task: PendingTask) {
+        match task.kind {
+            TaskKind::Read => self.retry_or_fail(now, task, Some(disk)),
+            TaskKind::WriteAll | TaskKind::WriteFirst => {
+                let budget = self
+                    .faults
+                    .as_ref()
+                    .map_or(0, |ctx| ctx.plan.retry.max_retries);
+                if task.attempt >= budget {
+                    if let Some(ctx) = self.faults.as_mut() {
+                        ctx.report.unrecoverable += 1;
+                    }
+                    self.finish_part(now, task.logical, true);
+                    self.recycle(task);
+                } else {
+                    task.attempt += 1;
+                    task.enqueued = now;
+                    task.dup = None;
+                    if let Some(ctx) = self.faults.as_mut() {
+                        ctx.report.retries += 1;
+                    }
+                    self.enqueue(disk, task);
+                }
+            }
+            TaskKind::Delayed | TaskKind::Rebuild => self.recycle(task),
+        }
+        self.try_dispatch(now, disk);
+    }
+
+    /// Tracks a fail-slow window opening (`start`) or closing on a disk;
+    /// overlapping windows nest via a counter.
+    fn on_slow_edge(&mut self, disk: usize, start: bool) {
+        if let Some(ctx) = self.faults.as_mut() {
+            if let Some(c) = ctx.slow_now.get_mut(disk) {
+                if start {
+                    *c += 1;
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// The hot spare for a failed disk came online: start copying.
+    fn on_rebuild_start(&mut self, now: SimTime, disk: usize) {
+        let ready = self
+            .faults
+            .as_mut()
+            .and_then(|ctx| ctx.rebuild.as_mut())
+            .is_some_and(|r| {
+                if r.disk == disk && !r.copying {
+                    r.copying = true;
+                    true
+                } else {
+                    false
+                }
+            });
+        if ready {
+            self.rebuild_issue_chunk(now);
+        }
+    }
+
+    /// Queues the next rebuild chunk: one replica-track read on a
+    /// surviving mirror, riding its *delayed* queue so foreground work
+    /// keeps winning the disk — the §3.4 idle-time throttle reused as the
+    /// rebuild rate limiter. Sources rotate chunk-by-chunk across the
+    /// survivors of the spare's mirror column.
+    fn rebuild_issue_chunk(&mut self, now: SimTime) {
+        let dm = self.layout.shape().dm.max(1) as usize;
+        let Some((spare, next, total, chunk)) = self.faults.as_ref().and_then(|ctx| {
+            ctx.rebuild
+                .as_ref()
+                .filter(|r| r.copying && r.pending == 0)
+                .map(|r| (r.disk, r.next, r.total, ctx.plan.rebuild.chunk_sectors))
+        }) else {
+            return;
+        };
+        if next >= total {
+            return; // completion is accounted in `on_spare_done`
+        }
+        let mirror = spare % dm;
+        let base = spare - mirror;
+        let live: Vec<usize> = (0..dm)
+            .map(|m| base + m)
+            .filter(|&d| d != spare && !self.dead[d])
+            .collect();
+        if live.is_empty() {
+            // No survivor left to copy from: the rebuild is abandoned and
+            // the spare slot stays dead.
+            if let Some(ctx) = self.faults.as_mut() {
+                ctx.rebuild = None;
+            }
+            return;
+        }
+        let source = live[(next / u64::from(chunk.max(1))) as usize % live.len()];
+        let src_mirror = (source % dm) as u32;
+        let Some((target, span)) = self.layout.rebuild_extent(next, 0, src_mirror, chunk) else {
+            // Off the mapped data (never expected before `total`): stop.
+            if let Some(ctx) = self.faults.as_mut() {
+                if let Some(r) = ctx.rebuild.as_mut() {
+                    r.next = r.total;
+                }
+            }
+            return;
+        };
+        let mut t = self.task_pool.pop().unwrap_or_else(PendingTask::shell);
+        t.logical = u64::MAX;
+        t.frag = Fragment {
+            lbn: u64::MAX,
+            sectors: span,
+        };
+        t.write = false;
+        t.kind = TaskKind::Rebuild;
+        t.targets.clear();
+        t.targets.push(target);
+        t.meta.clear();
+        t.meta.push((0, src_mirror as u8));
+        t.enqueued = now;
+        t.dup = None;
+        t.key = (u64::MAX, 0, 0);
+        t.attempt = 0;
+        t.track = 0;
+        self.delayed[source].insert(t);
+        if let Some(ctx) = self.faults.as_mut() {
+            if let Some(r) = ctx.rebuild.as_mut() {
+                r.source = source;
+                r.pending = u64::from(span);
+                r.writing = false;
+            }
+        }
+        self.try_dispatch(now, source);
+    }
+
+    /// A rebuild chunk read completed on the copy source: chain all `Dr`
+    /// replica writes of the chunk onto the spare (greedily, like a
+    /// foreground multi-replica write) and account the chunk when the
+    /// spare finishes.
+    fn on_rebuild_read_done(&mut self, now: SimTime, source: usize, task: PendingTask) {
+        self.recycle(task);
+        let dr = self.layout.shape().dr.max(1);
+        let dm = self.layout.shape().dm.max(1) as usize;
+        let Some((spare, next, chunk)) = self.faults.as_ref().and_then(|ctx| {
+            ctx.rebuild
+                .as_ref()
+                .filter(|r| r.copying && r.source == source && r.pending > 0 && !r.writing)
+                .map(|r| (r.disk, r.next, ctx.plan.rebuild.chunk_sectors))
+        }) else {
+            // The rebuild moved on (e.g. abandoned); drop the stale read.
+            self.try_dispatch(now, source);
+            return;
+        };
+        let spare_mirror = (spare % dm) as u32;
+        let mut end = now;
+        let mut wrote = false;
+        let mut rest = std::mem::take(&mut self.write_scratch);
+        rest.clear();
+        for k in 0..dr {
+            if let Some((t, _)) = self.layout.rebuild_extent(next, k, spare_mirror, chunk) {
+                rest.push(t);
+            }
+        }
+        while let Some((i, _)) = rest.iter().enumerate().min_by_key(|(_, t)| {
+            self.disks[spare]
+                .estimate_chained(end, t, true)
+                .total()
+                .as_nanos()
+        }) {
+            let b = if wrote {
+                self.disks[spare].begin_chained(end, &rest[i], true)
+            } else {
+                self.disks[spare].begin(end, &rest[i], true)
+            };
+            end += b.total();
+            wrote = true;
+            rest.swap_remove(i);
+        }
+        self.write_scratch = rest;
+        if let Some(ctx) = self.faults.as_mut() {
+            if let Some(r) = ctx.rebuild.as_mut() {
+                r.writing = true;
+            }
+        }
+        self.report.phys_requests += 1;
+        self.events.push(end, Event::SpareDone(spare));
+        self.try_dispatch(now, source);
+    }
+
+    /// The spare finished one chunk: advance the rebuild, and on the last
+    /// chunk flip the disk back to live — restoring full replica spacing,
+    /// which the debug invariant re-checks at the flip.
+    fn on_spare_done(&mut self, now: SimTime, disk: usize) {
+        let mut finished = None;
+        if let Some(ctx) = self.faults.as_mut() {
+            if let Some(r) = ctx.rebuild.as_mut() {
+                if r.disk == disk && r.writing {
+                    r.next += r.pending;
+                    r.pending = 0;
+                    r.writing = false;
+                    ctx.report.rebuild_chunks += 1;
+                    if r.next >= r.total {
+                        finished = Some(r.started);
+                    }
+                }
+            }
+            if finished.is_some() {
+                ctx.rebuild = None;
+                ctx.report.rebuilds_completed += 1;
+            }
+        }
+        match finished {
+            Some(started) => {
+                if let Some(ctx) = self.faults.as_mut() {
+                    ctx.report.rebuild_duration = now.saturating_since(started);
+                }
+                // Every replica is back in place: return the disk to
+                // service for subsequent requests.
+                self.dead[disk] = false;
+                #[cfg(debug_assertions)]
+                self.layout.check_rebuilt_disk(disk);
+                self.try_dispatch(now, disk);
+            }
+            None => self.rebuild_issue_chunk(now),
+        }
+    }
+
     fn complete_logical(&mut self, now: SimTime, id: u64) {
         let Some(l) = self.logicals.take(id) else {
             return;
@@ -1259,6 +1801,18 @@ impl ArraySim {
                 self.report.read_ms.push(ms);
             } else {
                 self.report.write_ms.push(ms);
+            }
+            // Degraded-mode windows: classify each visible completion by
+            // the array's health at completion time.
+            if let Some(ctx) = self.faults.as_mut() {
+                let set = if ctx.rebuild.as_ref().is_some_and(|r| r.copying) {
+                    &mut ctx.report.rebuilding_ms
+                } else if ctx.any_slow() || self.dead.iter().any(|&d| d) {
+                    &mut ctx.report.degraded_ms
+                } else {
+                    &mut ctx.report.healthy_ms
+                };
+                set.push(ms);
             }
         }
         if l.op == Op::Read {

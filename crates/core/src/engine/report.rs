@@ -41,6 +41,41 @@ impl PredictionStats {
     }
 }
 
+/// Degraded-mode observability: what the fault layer did to this run.
+///
+/// `active` distinguishes "no faults were configured" from "faults were
+/// configured but nothing fired" — the harness only emits the `faults`
+/// JSON object when it is set, which is what keeps fault-free figure
+/// output byte-identical to builds that predate the fault layer.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// A non-empty `FaultPlan` drove this run.
+    pub active: bool,
+    /// Physical operations re-issued (alternate replica or same disk).
+    pub retries: u64,
+    /// Reads steered away from a fail-slow disk at dispatch time.
+    pub redirects: u64,
+    /// Simulated-time timeouts that fired on a still-pending task.
+    pub timeouts: u64,
+    /// Transient media errors injected on completing operations.
+    pub media_errors: u64,
+    /// Logical requests that exhausted every retry and were failed.
+    pub unrecoverable: u64,
+    /// Copy chunks written to a hot spare during rebuild.
+    pub rebuild_chunks: u64,
+    /// Hot-spare rebuilds that ran to completion.
+    pub rebuilds_completed: u64,
+    /// Wall-clock (simulated) duration of the last completed rebuild.
+    pub rebuild_duration: SimDuration,
+    /// Visible response times (ms) completed while the array was healthy.
+    pub healthy_ms: SampleSet,
+    /// Visible response times (ms) completed while degraded (a disk dead
+    /// or inside a fail-slow window), but not rebuilding.
+    pub degraded_ms: SampleSet,
+    /// Visible response times (ms) completed while a rebuild was running.
+    pub rebuilding_ms: SampleSet,
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -80,6 +115,9 @@ pub struct RunReport {
     pub transfer_ms: OnlineStats,
     /// Queueing delay between enqueue and service start (ms).
     pub queue_wait_ms: OnlineStats,
+    /// Fault-injection and recovery observability (all-zero when the run
+    /// had an empty `FaultPlan`).
+    pub faults: FaultReport,
 }
 
 impl RunReport {

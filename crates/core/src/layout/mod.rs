@@ -401,6 +401,54 @@ impl Layout {
             let _ = start;
         }
     }
+
+    /// The physical extent holding a disk's data sectors `[offset, …)` for
+    /// rotational replica `k` of mirror `m` — the copy unit of hot-spare
+    /// rebuild. The span is clamped to the end of the replica track (the
+    /// natural copy granule), to the disk's remaining data, and to
+    /// `max_sectors`; returns `None` past the end of the data or for a
+    /// zero budget.
+    ///
+    /// Every disk in one mirror column stores the same per-disk data
+    /// image, so a rebuild reads extent `offset` from any surviving mirror
+    /// and writes the same `offset` (once per replica) on the spare.
+    pub fn rebuild_extent(
+        &self,
+        offset: u64,
+        k: u32,
+        m: u32,
+        max_sectors: u32,
+    ) -> Option<(Target, u32)> {
+        let per_disk = self.per_disk_data_sectors();
+        if max_sectors == 0 || offset >= per_disk {
+            return None;
+        }
+        let loc = self.mapper.locate(offset)?;
+        let to_track_end = loc.spt.saturating_sub(loc.sector).max(1);
+        let span = u64::from(to_track_end.min(max_sectors)).min(per_disk - offset) as u32;
+        Some((self.replica_target(loc, k, m, span), span))
+    }
+
+    /// Debug-only: asserts a rebuilt disk's rotational replicas regained
+    /// their `1/Dr` spacing. The rebuild writes extents produced by the
+    /// same placement arithmetic as the original layout; this pins that
+    /// equivalence where the engine flips the disk back to live.
+    #[cfg(debug_assertions)]
+    pub fn check_rebuilt_disk(&self, disk: usize) {
+        let m = (disk % self.shape.dm as usize) as u32;
+        let mut replicas = Vec::with_capacity(self.shape.dr as usize);
+        for k in 0..self.shape.dr {
+            if let Some((target, _)) = self.rebuild_extent(0, k, m, 1) {
+                replicas.push(Replica {
+                    disk,
+                    target,
+                    replica: k as u8,
+                    mirror: m as u8,
+                });
+            }
+        }
+        self.check_replica_spacing(&replicas);
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@
 pub mod config;
 pub mod dqueue;
 pub mod engine;
+pub mod faults;
 pub mod layout;
 pub mod models;
 pub mod sched;
@@ -45,8 +46,9 @@ pub mod tuner;
 
 pub use config::{Shape, ShapeKind};
 pub use dqueue::{DriveQueue, TaskId};
-pub use engine::report::{PredictionStats, RunReport};
+pub use engine::report::{FaultReport, PredictionStats, RunReport};
 pub use engine::{ArraySim, CacheConfig, EngineConfig, MirrorPolicy, WriteMode};
+pub use faults::{FailSlow, FailStop, FaultPlan, MediaErrors, RebuildConfig, RetryPolicy};
 pub use layout::{Fragment, Layout, LayoutError, Replica, ReplicaPlacement};
 pub use sched::Policy;
 pub use tuner::{Advice, Advisor, WorkloadObserver, WorkloadProfile};

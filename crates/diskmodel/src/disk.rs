@@ -176,6 +176,10 @@ pub struct SimDisk {
     rotation_misses: u64,
     requests_served: u64,
     quant: QuantCache,
+    /// Fail-slow windows `(from, until, factor)`: operations *started*
+    /// inside a window take `factor`× their healthy service time. Empty
+    /// (the default) costs one branch per `begin`.
+    fail_slow: Vec<(SimTime, SimTime, f64)>,
 }
 
 impl SimDisk {
@@ -230,6 +234,19 @@ impl SimDisk {
             rotation_misses: 0,
             requests_served: 0,
             quant: QuantCache::new(),
+            fail_slow: Vec::new(),
+        }
+    }
+
+    /// Adds a fail-slow window: operations started in `[from, until)` take
+    /// `factor`× their healthy time. Only the *realised* service stretches —
+    /// [`SimDisk::estimate`] keeps reporting healthy timings, so schedulers
+    /// retain their normal picture of the drive and steering work away from
+    /// a sick disk stays an array-level decision. Windows with non-finite
+    /// or non-positive factors are ignored.
+    pub fn add_fail_slow(&mut self, from: SimTime, until: SimTime, factor: f64) {
+        if factor.is_finite() && factor > 0.0 && until > from {
+            self.fail_slow.push((from, until, factor));
         }
     }
 
@@ -609,6 +626,24 @@ impl SimDisk {
                 }
             } else {
                 b.rotation += err;
+            }
+        }
+        if !self.fail_slow.is_empty() {
+            // Fail-slow: inflate every realised component by the product of
+            // the open windows (overlaps compound). The busy horizon below
+            // commits the stretched total, so queueing behind a sick disk
+            // degrades exactly as the inflation says it should.
+            let mut f = 1.0;
+            for &(from, until, factor) in &self.fail_slow {
+                if start >= from && start < until {
+                    f *= factor;
+                }
+            }
+            if f != 1.0 {
+                b.overhead = b.overhead.mul_f64(f);
+                b.seek = b.seek.mul_f64(f);
+                b.rotation = b.rotation.mul_f64(f);
+                b.transfer = b.transfer.mul_f64(f);
             }
         }
         self.arm_cylinder = target.cylinder;

@@ -494,6 +494,19 @@ fn encode_report(report: &RunReport, out: &mut Vec<u8>) {
     put_stats(out, &report.rotation_ms);
     put_stats(out, &report.transfer_ms);
     put_stats(out, &report.queue_wait_ms);
+    let f = &report.faults;
+    put_u64(out, f.active as u64);
+    put_u64(out, f.retries);
+    put_u64(out, f.redirects);
+    put_u64(out, f.timeouts);
+    put_u64(out, f.media_errors);
+    put_u64(out, f.unrecoverable);
+    put_u64(out, f.rebuild_chunks);
+    put_u64(out, f.rebuilds_completed);
+    put_u64(out, f.rebuild_duration.as_nanos());
+    put_samples(out, &f.healthy_ms);
+    put_samples(out, &f.degraded_ms);
+    put_samples(out, &f.rebuilding_ms);
 }
 
 fn decode_report(r: &mut Reader<'_>) -> Option<RunReport> {
@@ -522,6 +535,18 @@ fn decode_report(r: &mut Reader<'_>) -> Option<RunReport> {
     report.rotation_ms = get_stats(r)?;
     report.transfer_ms = get_stats(r)?;
     report.queue_wait_ms = get_stats(r)?;
+    report.faults.active = r.u64()? != 0;
+    report.faults.retries = r.u64()?;
+    report.faults.redirects = r.u64()?;
+    report.faults.timeouts = r.u64()?;
+    report.faults.media_errors = r.u64()?;
+    report.faults.unrecoverable = r.u64()?;
+    report.faults.rebuild_chunks = r.u64()?;
+    report.faults.rebuilds_completed = r.u64()?;
+    report.faults.rebuild_duration = SimDuration::from_nanos(r.u64()?);
+    report.faults.healthy_ms = get_samples(r)?;
+    report.faults.degraded_ms = get_samples(r)?;
+    report.faults.rebuilding_ms = get_samples(r)?;
     Some(report)
 }
 

@@ -147,6 +147,31 @@ pub fn write_config(fp: &mut Fp, cfg: &EngineConfig) {
     });
     fp.write_u64(cfg.read_ahead as u64);
     fp.write_u64(cfg.seed);
+    // The fault plan is part of the run's identity: fault-bearing runs
+    // must never alias fault-free cache entries.
+    let f = &cfg.faults;
+    fp.write_str("FaultPlan");
+    fp.write_u64(f.fail_stop.len() as u64);
+    for s in &f.fail_stop {
+        fp.write_u64(s.disk as u64);
+        fp.write_u64(s.at.as_nanos());
+        fp.write_u64(s.spare as u64);
+    }
+    fp.write_u64(f.fail_slow.len() as u64);
+    for w in &f.fail_slow {
+        fp.write_u64(w.disk as u64);
+        fp.write_u64(w.from.as_nanos());
+        fp.write_u64(w.until.as_nanos());
+        fp.write_f64(w.factor);
+    }
+    fp.write_f64(f.media.read_rate);
+    fp.write_f64(f.media.write_rate);
+    fp.write_u64(f.retry.timeout.as_nanos());
+    fp.write_u64(f.retry.max_retries as u64);
+    fp.write_u64(f.retry.backoff_cap.as_nanos());
+    fp.write_u64(f.redirect as u64);
+    fp.write_u64(f.rebuild.spare_delay.as_nanos());
+    fp.write_u64(f.rebuild.chunk_sectors as u64);
 }
 
 /// Absorbs a request stream by content: name, data-set size, and every

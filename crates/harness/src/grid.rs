@@ -262,10 +262,14 @@ fn cell_json(r: &mut CellResult) -> Json {
 }
 
 /// The machine-readable core of a [`RunReport`].
+///
+/// The `faults` object only appears for runs driven by a non-empty
+/// `FaultPlan` (`r.faults.active`): fault-free output stays byte-identical
+/// to builds that predate the fault layer.
 pub fn report_json(r: &mut RunReport) -> Json {
     let p95 = r.response_percentile_ms(0.95);
     let p99 = r.response_percentile_ms(0.99);
-    Json::object([
+    let mut j = Json::object([
         ("completed", Json::from(r.completed)),
         ("sim_time_ms", Json::from(r.sim_time.as_millis_f64())),
         ("mean_response_ms", Json::from(r.mean_response_ms())),
@@ -284,7 +288,42 @@ pub fn report_json(r: &mut RunReport) -> Json {
         ("rotation_mean_ms", Json::from(r.rotation_ms.mean())),
         ("transfer_mean_ms", Json::from(r.transfer_ms.mean())),
         ("queue_wait_mean_ms", Json::from(r.queue_wait_ms.mean())),
-    ])
+    ]);
+    if r.faults.active {
+        let f = &mut r.faults;
+        let window = |s: &mut mimd_sim::SampleSet| {
+            Json::object([
+                ("completed", Json::from(s.len() as u64)),
+                ("mean_ms", Json::from(s.mean())),
+                (
+                    "p95_ms",
+                    s.percentile(0.95).map(Json::from).unwrap_or(Json::Null),
+                ),
+                (
+                    "p99_ms",
+                    s.percentile(0.99).map(Json::from).unwrap_or(Json::Null),
+                ),
+            ])
+        };
+        let faults = Json::object([
+            ("retries", Json::from(f.retries)),
+            ("redirects", Json::from(f.redirects)),
+            ("timeouts", Json::from(f.timeouts)),
+            ("media_errors", Json::from(f.media_errors)),
+            ("unrecoverable", Json::from(f.unrecoverable)),
+            ("rebuild_chunks", Json::from(f.rebuild_chunks)),
+            ("rebuilds_completed", Json::from(f.rebuilds_completed)),
+            (
+                "rebuild_duration_ms",
+                Json::from(f.rebuild_duration.as_millis_f64()),
+            ),
+            ("healthy", window(&mut f.healthy_ms)),
+            ("degraded", window(&mut f.degraded_ms)),
+            ("rebuilding", window(&mut f.rebuilding_ms)),
+        ]);
+        j.push_field("faults", faults);
+    }
+    j
 }
 
 #[cfg(test)]

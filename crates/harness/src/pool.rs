@@ -7,7 +7,13 @@
 //! order — the output of [`parallel_map`] is byte-for-byte identical to a
 //! serial `jobs.iter().map(f)` regardless of thread count or OS
 //! scheduling.
+//!
+//! Panic isolation: each job runs under `catch_unwind`, so one panicking
+//! grid cell cannot tear down a sweep that has hours of sibling work in
+//! flight. Every other job still runs to completion; afterwards the map
+//! panics once with the index and payload of each failed job.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The worker count used by [`parallel_map`]: the `MIMD_THREADS`
@@ -24,6 +30,35 @@ pub fn configured_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The panic payload of one failed job, rendered for the aggregate error.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+/// Aggregates per-job panics into one message and raises it, after every
+/// surviving job has finished.
+fn raise_job_panics(failures: Vec<(usize, String)>) {
+    if failures.is_empty() {
+        return;
+    }
+    let lines: Vec<String> = failures
+        .iter()
+        .map(|(i, msg)| format!("  job {i}: {msg}"))
+        .collect();
+    panic!(
+        "{} of the mapped jobs panicked (all others completed):\n{}",
+        failures.len(),
+        lines.join("\n")
+    );
 }
 
 /// Maps `f` over `jobs` on [`configured_threads`] workers, returning
@@ -56,6 +91,11 @@ where
 /// for load balance while amortizing the atomic for large grids. With
 /// `threads <= 1` the map runs inline on the caller's thread; either way
 /// the result vector is ordered by job index.
+///
+/// A panicking job does not abort the map: the remaining jobs run to
+/// completion first, then the map panics with every failed job's index
+/// and payload (so a 300-cell sweep reports "cell 217 panicked" instead
+/// of losing the night's run to a poisoned thread).
 pub fn parallel_map_with<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -65,16 +105,27 @@ where
     let n = jobs.len();
     let threads = threads.max(1).min(n.max(1));
     if threads <= 1 {
-        return jobs.iter().map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        let mut failures = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(job))) {
+                Ok(r) => out.push(r),
+                Err(payload) => failures.push((i, describe_panic(payload.as_ref()))),
+            }
+        }
+        raise_job_panics(failures);
+        return out;
     }
     let chunk = (n / (threads * 8)).clamp(1, 64);
     let cursor = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    let mut failures: Vec<(usize, String)> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut broken: Vec<(usize, String)> = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
@@ -82,17 +133,26 @@ where
                         }
                         let end = (start + chunk).min(n);
                         for (i, job) in jobs[start..end].iter().enumerate() {
-                            local.push((start + i, f(job)));
+                            match catch_unwind(AssertUnwindSafe(|| f(job))) {
+                                Ok(r) => local.push((start + i, r)),
+                                Err(payload) => {
+                                    broken.push((start + i, describe_panic(payload.as_ref())));
+                                }
+                            }
                         }
                     }
-                    local
+                    (local, broken)
                 })
             })
             .collect();
         for h in handles {
-            indexed.extend(h.join().expect("harness worker panicked"));
+            let (local, broken) = h.join().expect("harness worker panicked");
+            indexed.extend(local);
+            failures.extend(broken);
         }
     });
+    failures.sort_by_key(|(i, _)| *i);
+    raise_job_panics(failures);
     indexed.sort_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
@@ -151,5 +211,55 @@ mod tests {
                 "n = {n}"
             );
         }
+    }
+
+    #[test]
+    fn one_panicking_job_reports_its_index_and_spares_the_rest() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1, 4] {
+            let ran = AtomicUsize::new(0);
+            let jobs: Vec<u64> = (0..100).collect();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                parallel_map_with(threads, jobs, |&x| {
+                    if x == 37 {
+                        panic!("cell exploded on purpose");
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+            }))
+            .expect_err("the map must re-raise the job panic");
+            let msg = describe_panic(err.as_ref());
+            assert!(msg.contains("job 37"), "threads = {threads}: {msg}");
+            assert!(
+                msg.contains("cell exploded on purpose"),
+                "threads = {threads}: {msg}"
+            );
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                99,
+                "threads = {threads}: every other job still ran"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_panics_aggregate_in_job_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_with(4, jobs, |&x| {
+                if x % 20 == 3 {
+                    panic!("bad job {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("panics must propagate");
+        let msg = describe_panic(err.as_ref());
+        let positions: Vec<usize> = [3usize, 23, 43, 63]
+            .iter()
+            .map(|i| msg.find(&format!("job {i}:")).expect("listed"))
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "{msg}");
     }
 }

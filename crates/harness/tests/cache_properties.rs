@@ -155,6 +155,23 @@ fn every_config_field_flip_changes_the_fingerprint() {
             "track_skew",
             Box::new(|c| c.disk_params.track_skew_frac += 0.01),
         ),
+        (
+            "faults",
+            Box::new(|c| {
+                c.faults = mimd_core::FaultPlan::new()
+                    .fail_stop(0, mimd_sim::SimTime::ZERO + SimDuration::from_millis(500))
+            }),
+        ),
+        (
+            "faults_retry",
+            Box::new(|c| {
+                c.faults = mimd_core::FaultPlan::new().retry(
+                    SimDuration::from_millis(40),
+                    3,
+                    SimDuration::from_millis(320),
+                )
+            }),
+        ),
     ];
     let mut digests = BTreeSet::new();
     assert!(digests.insert(fp::trace_job(&base, &trace)));
@@ -171,6 +188,52 @@ fn every_config_field_flip_changes_the_fingerprint() {
     assert!(digests.insert(fp::trace_job(&base, &other)));
     let shorter = trace.truncated(59);
     assert!(digests.insert(fp::trace_job(&base, &shorter)));
+}
+
+#[test]
+fn faulted_grids_replay_byte_identical_at_any_thread_count() {
+    // Fault scenarios draw from a dedicated named RNG stream inside each
+    // (single-threaded) simulator, so the harness thread count cannot
+    // leak into results — and a warm cache replay returns the same bytes.
+    let trace = Arc::new(SyntheticSpec::cello_base().generate(21, 120));
+    let grid = GridSpec {
+        name: "faulted".into(),
+        shapes: vec![Shape::mirror(2), Shape::sr_array(2, 2).unwrap()],
+        policies: vec![None, Some(Policy::Look)],
+        workloads: vec![("w".into(), Workload::Trace(trace))],
+        seeds: vec![3, 4],
+    };
+    let customize = |c: EngineConfig| {
+        let faults = mimd_core::FaultPlan::new()
+            .fail_stop(0, mimd_sim::SimTime::from_secs(2))
+            .media_errors(0.02, 0.0)
+            .retry(
+                SimDuration::from_millis(50),
+                3,
+                SimDuration::from_millis(400),
+            )
+            .redirect_slow_reads();
+        c.with_faults(faults)
+    };
+    let serial = grid
+        .run_cached(1, &RunCache::disabled(), customize)
+        .to_json()
+        .to_json();
+    for threads in [2, 8] {
+        let parallel = grid
+            .run_cached(threads, &RunCache::disabled(), customize)
+            .to_json()
+            .to_json();
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+    let dir = temp_cache_dir("faulted-threads");
+    let cache = RunCache::at(&dir, 0xFA17);
+    let cold = grid.run_cached(4, &cache, customize).to_json().to_json();
+    let warm = grid.run_cached(4, &cache, customize).to_json().to_json();
+    assert_eq!(cold, serial);
+    assert_eq!(warm, serial, "warm faulted replay must be byte-identical");
+    assert_eq!(cache.hits(), grid.cells().len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

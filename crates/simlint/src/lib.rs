@@ -34,6 +34,13 @@
 //!   call elsewhere is flagged so binaries can't scatter state that the
 //!   run cache's correctness story doesn't cover. Writes through the
 //!   sanctioned roots carry a waiver at the call site.
+//! - [`Rule::FaultDeterminism`] — fault-injection code draws randomness
+//!   **only** from the dedicated named stream `SimRng::named(seed,
+//!   "faults")`. Constructing an RNG any other way (`SimRng::seed_from`,
+//!   `.fork()`) inside the fault module is flagged: an anonymous or
+//!   forked stream would entangle fault draws with workload/engine draws,
+//!   so adding a fault would perturb the fault-free request sequence and
+//!   break the empty-plan byte-identity guarantee.
 //!
 //! Test modules (`#[cfg(test)]`), doc comments, strings, and the
 //! `tests/`, `benches/`, and `examples/` trees are exempt. A violation
@@ -63,6 +70,8 @@ pub enum Rule {
     /// Filesystem writes outside the sanctioned env-var roots in bench /
     /// harness code.
     CacheHygiene,
+    /// RNG construction outside the dedicated named stream in fault code.
+    FaultDeterminism,
 }
 
 impl Rule {
@@ -75,6 +84,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Parallelism => "parallelism",
             Rule::CacheHygiene => "cache-hygiene",
+            Rule::FaultDeterminism => "fault-determinism",
         }
     }
 
@@ -86,6 +96,7 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "parallelism" => Some(Rule::Parallelism),
             "cache-hygiene" => Some(Rule::CacheHygiene),
+            "fault-determinism" => Some(Rule::FaultDeterminism),
             _ => None,
         }
     }
@@ -129,6 +140,7 @@ pub struct Scope {
     panic: bool,
     parallelism: bool,
     cache_hygiene: bool,
+    fault_determinism: bool,
 }
 
 impl Scope {
@@ -140,6 +152,7 @@ impl Scope {
         panic: false,
         parallelism: false,
         cache_hygiene: false,
+        fault_determinism: false,
     };
 
     /// Derives the applicable rules from a workspace-relative path
@@ -165,6 +178,7 @@ impl Scope {
             panic: rel.starts_with("crates/core/src/engine/") || in_src_of("diskmodel"),
             parallelism: sim_crate,
             cache_hygiene: in_src_of("bench") || in_src_of("harness"),
+            fault_determinism: rel == "crates/core/src/faults.rs",
         }
     }
 
@@ -175,7 +189,8 @@ impl Scope {
             || self.time_units
             || self.panic
             || self.parallelism
-            || self.cache_hygiene)
+            || self.cache_hygiene
+            || self.fault_determinism)
     }
 }
 
@@ -579,6 +594,24 @@ const FS_WRITES: [&str; 7] = [
     "fs::copy",
 ];
 
+/// RNG constructions banned from the fault module.
+///
+/// Fault draws must come from the one named stream created in
+/// `FaultCtx::new` (`SimRng::named(seed, "faults")`). An anonymous seed
+/// or a fork of an engine stream would consume draws the fault-free run
+/// doesn't, breaking the empty-plan byte-identity guarantee.
+const FAULT_RNG: [(&str, &str); 2] = [
+    (
+        "seed_from",
+        "fault code must draw from the dedicated `SimRng::named(seed, \"faults\")` stream",
+    ),
+    (
+        ".fork(",
+        "forking entangles fault draws with the parent stream; use the dedicated \
+         `SimRng::named(seed, \"faults\")` stream",
+    ),
+];
+
 /// Lints one file's source text under the given scope.
 ///
 /// `rel_path` is used only for diagnostics. This is the pure core the
@@ -654,6 +687,13 @@ pub fn lint_source(rel_path: &str, scope: Scope, source: &str) -> Vec<Violation>
             for (needle, why) in PARALLELISM {
                 if has_token(code, needle) {
                     push(Rule::Parallelism, format!("`{needle}`: {why}"));
+                }
+            }
+        }
+        if scope.fault_determinism && !allowed(Rule::FaultDeterminism) {
+            for (needle, why) in FAULT_RNG {
+                if has_token(code, needle) {
+                    push(Rule::FaultDeterminism, format!("`{needle}`: {why}"));
                 }
             }
         }
@@ -781,6 +821,13 @@ mod tests {
         // single-thread state, which the parallelism rule permits.
         let seek = Scope::for_path("crates/diskmodel/src/seek.rs");
         assert!(seek.parallelism && seek.panic);
+        // The fault module alone carries the fault-determinism rule (on
+        // top of the usual simulation-crate set); the engine and the RNG's
+        // own home do not — `seed_from`/`fork` are legitimate there.
+        let faults = Scope::for_path("crates/core/src/faults.rs");
+        assert!(faults.fault_determinism && faults.determinism && faults.collections);
+        assert!(!Scope::for_path("crates/core/src/engine/mod.rs").fault_determinism);
+        assert!(!Scope::for_path("crates/simcore/src/rng.rs").fault_determinism);
     }
 
     #[test]
@@ -900,6 +947,37 @@ mod tests {
     fn harness_pool_is_exempt_from_parallelism() {
         let src = "use std::sync::atomic::AtomicUsize;\nfn go() { std::thread::scope(|_| {}); }\n";
         let rel = "crates/harness/src/pool.rs";
+        let v = lint_source(rel, Scope::for_path(rel), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unnamed_rng_construction_flagged_in_fault_module() {
+        let rel = "crates/core/src/faults.rs";
+        let src = "fn f(seed: u64, parent: &mut SimRng) {\n    \
+                   let a = SimRng::seed_from(seed);\n    \
+                   let b = parent.fork();\n    let _ = (a, b);\n}\n";
+        let v = lint_source(rel, Scope::for_path(rel), src);
+        assert_eq!(
+            rules(&v),
+            vec![(2, Rule::FaultDeterminism), (3, Rule::FaultDeterminism)]
+        );
+        // The sanctioned constructor passes, and the rule stays confined
+        // to the fault module: the same source elsewhere is clean.
+        let ok = "fn f(seed: u64) -> SimRng {\n    SimRng::named(seed, \"faults\")\n}\n";
+        let v = lint_source(rel, Scope::for_path(rel), ok);
+        assert!(v.is_empty(), "{v:?}");
+        let elsewhere = "crates/core/src/engine/mod.rs";
+        let v = lint_source(elsewhere, Scope::for_path(elsewhere), src);
+        assert!(v.iter().all(|x| x.rule != Rule::FaultDeterminism), "{v:?}");
+    }
+
+    #[test]
+    fn fault_determinism_waivable_with_directive() {
+        let rel = "crates/core/src/faults.rs";
+        let src = "fn f(seed: u64) -> SimRng {\n    \
+                   // simlint: allow(fault-determinism) — migration shim, removed next PR\n    \
+                   SimRng::seed_from(seed)\n}\n";
         let v = lint_source(rel, Scope::for_path(rel), src);
         assert!(v.is_empty(), "{v:?}");
     }
