@@ -24,6 +24,7 @@ fn mechanism_accuracy(log: &mut ExperimentLog) {
     let noise = ObservationNoise::default();
     let mut tracker = HeadTracker::new(nominal, noise);
     let mut schedule = CalibrationSchedule::paper_default();
+    // simlint: allow(rng-provenance) — frozen stream: tab02 goldens depend on these exact draws
     let mut rng = SimRng::seed_from(12);
 
     let mut now = SimTime::from_millis(1);

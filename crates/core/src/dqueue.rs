@@ -101,11 +101,19 @@ struct BandEntry {
     /// Angle slot of the candidate (visit-ordering hint, not correctness).
     aslot: u8,
     /// Memoised effective target phase ([`SimDisk::sched_phase`]), `NaN`
-    /// until the candidate is first evaluated. The phase depends only on
-    /// immutable drive state, so it is computed once per queued candidate
-    /// instead of once per evaluation, and doubles as the input to the
-    /// rotational lower-bound prune in [`DriveQueue::visit_band`].
+    /// until the candidate is first evaluated. It is computed once per
+    /// queued candidate instead of once per evaluation, and doubles as the
+    /// input to the rotational lower-bound prune in
+    /// [`DriveQueue::visit_band`]. The phase folds in the disk's mutable
+    /// spindle-phase offset, so the memo is valid only while `epoch`
+    /// matches [`SimDisk::phase_epoch`].
+    // simlint: shard-local(per-queue memo owned by one DriveQueue/SimDisk pair; epoch-stamped against phase changes)
     phase: Cell<f64>,
+    /// [`SimDisk::phase_epoch`] at the time `phase` was computed; a
+    /// mismatch invalidates the memo, so a stale phase can never survive
+    /// a `set_phase_offset`.
+    // simlint: shard-local(validity stamp for the phase memo above)
+    epoch: Cell<u32>,
 }
 
 /// A drive queue with incremental per-policy indexes. See the module docs.
@@ -455,13 +463,20 @@ impl<S: Schedulable> DriveQueue<S> {
         let bucket = &self.bands[band];
         let floor = disk.arrival_phase_floor(now, bound);
         let period = disk.rotation_ns() as f64;
+        let disk_epoch = disk.phase_epoch();
         // Entries are kept sorted by aslot; start at the first entry whose
         // slot is at or past the platter phase, then wrap.
         let pivot = bucket.partition_point(|e| e.aslot < ref_slot);
         let n = bucket.len();
         for k in 0..n {
             let e = &bucket[(pivot + k) % n];
-            let mut phase = e.phase.get();
+            // A memo stamped under an older spindle-phase epoch is stale:
+            // treat it as unset and re-derive below.
+            let mut phase = if e.epoch.get() == disk_epoch {
+                e.phase.get()
+            } else {
+                f64::NAN
+            };
             if !phase.is_nan() {
                 if let Some((bcost, _, _, _)) = *best {
                     // Truncating the float wait only lowers the bound.
@@ -482,6 +497,7 @@ impl<S: Schedulable> DriveQueue<S> {
             if phase.is_nan() {
                 phase = disk.sched_phase(target);
                 e.phase.set(phase);
+                e.epoch.set(disk_epoch);
             }
             let cost =
                 sched::candidate_cost_at_phase(disk, now, target, task.is_write(), slack, phase);
@@ -608,6 +624,7 @@ impl<S: Schedulable> DriveQueue<S> {
                         cand: c as u8,
                         aslot: Self::angle_slot(t.angle),
                         phase: Cell::new(f64::NAN),
+                        epoch: Cell::new(0),
                     };
                     let bucket = &mut self.bands[band];
                     // Keep sorted by aslot (stable: equal slots stay in
@@ -900,6 +917,49 @@ mod tests {
             let got = dq.pick(&d, now, &mut look_a, SimDuration::ZERO, 128);
             assert_eq!(got, want, "{policy}");
         }
+    }
+
+    /// A spindle-phase change must invalidate every memoised `sched_phase`:
+    /// pick once (warming the per-candidate phase memos), shift the phase
+    /// offset, then require the next indexed pick to agree with a fresh
+    /// scan of the same queue. Without the epoch stamp the warm memos
+    /// would survive `set_phase_offset` and the rotational prune (and the
+    /// candidate costs themselves) would run on phases from the old
+    /// spindle alignment.
+    #[test]
+    fn phase_memo_never_survives_spindle_phase_change() {
+        let cyls = DiskParams::st39133lwv().total_cylinders();
+        mimd_sim::check::check_cases("phase memo respects epoch", 24, |_case, rng| {
+            for policy in [Policy::Satf, Policy::Rsatf] {
+                let mut d = disk();
+                let park = Target {
+                    cylinder: rng.below(cyls as u64) as u32,
+                    surface: 0,
+                    angle: rng.unit(),
+                    sectors: 8,
+                };
+                let _ = d.begin(SimTime::ZERO, &park, false);
+                let now = d.busy_until();
+                let mut dq: DriveQueue<Entry> = DriveQueue::new(policy, cyls);
+                let mut mirror = Vec::new();
+                let mut ids = Vec::new();
+                for _ in 0..32 {
+                    let e = random_entry(rng, cyls, 50);
+                    ids.push(dq.insert(e.clone()));
+                    mirror.push(e);
+                }
+                let mut look_a = LookState::default();
+                let mut look_b = LookState::default();
+                // Warm the memos under the initial spindle alignment.
+                let _ = dq.pick(&d, now, &mut look_a, SimDuration::ZERO, 128);
+                // Re-align the spindle; every memoised phase is now wrong.
+                d.set_phase_offset(0.125 + rng.unit() * 0.75);
+                let want = sched::pick(policy, &d, now, &mirror, &mut look_b, SimDuration::ZERO)
+                    .map(|p| (ids[p.queue_index], p.candidate));
+                let got = dq.pick(&d, now, &mut look_a, SimDuration::ZERO, 128);
+                assert_eq!(got, want, "{policy}: stale phase memo changed the pick");
+            }
+        });
     }
 
     #[test]

@@ -118,6 +118,11 @@ pub struct RunReport {
     /// Fault-injection and recovery observability (all-zero when the run
     /// had an empty `FaultPlan`).
     pub faults: FaultReport,
+    /// Determinism witness: an order-sensitive FNV-1a digest of every
+    /// event pop the run made (`(time, seq, disk, kind)` records). Two
+    /// runs of the same experiment must produce the same value at any
+    /// thread count; CI asserts this across `MIMD_THREADS=1` and `=8`.
+    pub witness: u64,
 }
 
 impl RunReport {

@@ -93,6 +93,7 @@ struct QuantSlot {
 /// hits return bit-identical values, never changing simulated time.
 #[derive(Debug, Clone)]
 struct QuantCache {
+    // simlint: shard-local(per-disk evaluation memo owned by one SimDisk; hits return bit-identical values)
     slots: [std::cell::Cell<QuantSlot>; QUANT_WAYS],
 }
 
@@ -171,6 +172,11 @@ pub struct SimDisk {
     /// Spindle phase offset in revolutions; non-zero models unsynchronised
     /// spindles across an array (§2.5).
     phase_offset: f64,
+    /// Bumped on every [`SimDisk::set_phase_offset`]. External caches of
+    /// phase-derived values (the drive queue's [`SimDisk::sched_phase`]
+    /// memo) stamp this and treat a mismatch as a miss, so a stale phase
+    /// can never survive a spindle-phase change.
+    phase_epoch: u32,
     busy_until: SimTime,
     rng: SimRng,
     rotation_misses: u64,
@@ -229,7 +235,9 @@ impl SimDisk {
             read_ahead: false,
             buffered_track: None,
             phase_offset: 0.0,
+            phase_epoch: 0,
             busy_until: SimTime::ZERO,
+            // simlint: allow(rng-provenance) — seed is pre-mixed per disk by the engine's fork chain; renaming the stream would shift draws and the golden bytes
             rng: SimRng::seed_from(seed),
             rotation_misses: 0,
             requests_served: 0,
@@ -377,6 +385,14 @@ impl SimDisk {
     /// the unsynchronised spindles of commodity arrays (§2.5).
     pub fn set_phase_offset(&mut self, offset: f64) {
         self.phase_offset = mod1(offset);
+        self.phase_epoch = self.phase_epoch.wrapping_add(1);
+    }
+
+    /// Generation counter for phase-derived memos: changes whenever
+    /// [`SimDisk::set_phase_offset`] does. Stamp it next to any cached
+    /// [`SimDisk::sched_phase`] value and re-derive on mismatch.
+    pub fn phase_epoch(&self) -> u32 {
+        self.phase_epoch
     }
 
     /// Platter phase at instant `t` (including this disk's phase offset).
@@ -516,10 +532,11 @@ impl SimDisk {
 
     /// The effective spindle phase at which `target`'s first sector passes
     /// under the head: the quantised track angle with this disk's phase
-    /// offset folded in. Depends only on immutable drive state (geometry,
-    /// timing path, phase offset), never on the clock or the arm — so
-    /// index structures may compute it once per queued candidate and reuse
-    /// it across picks.
+    /// offset folded in. Never depends on the clock or the arm, so index
+    /// structures may compute it once per queued candidate and reuse it
+    /// across picks — but it *does* fold in the mutable phase offset, so
+    /// any such memo must stamp [`SimDisk::phase_epoch`] and re-derive
+    /// when the epoch has moved.
     #[inline]
     pub fn sched_phase(&self, target: &Target) -> f64 {
         let angle = if self.path == TimingPath::Detailed {

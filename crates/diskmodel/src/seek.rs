@@ -28,11 +28,13 @@ use crate::params::DiskParams;
 /// memo stops growing and extra models just refit.
 const FIT_CACHE_CAP: usize = 16;
 
+// simlint: shard-local(per-thread fit memo; value-transparent — a refit returns bit-identical tables)
 thread_local! {
     /// Per-thread memo for [`SeekProfile::fit`]: `(params, fitted profile)`
     /// pairs, searched linearly (the list holds a handful of drive models
     /// at most). Thread-local rather than shared so the simulation crates
     /// stay lock-free; each harness worker refits at most once per model.
+    // simlint: shard-local(same memo — the fit is a pure function of DiskParams)
     static FIT_CACHE: RefCell<Vec<(DiskParams, SeekProfile)>> = const { RefCell::new(Vec::new()) };
 }
 

@@ -507,6 +507,7 @@ fn encode_report(report: &RunReport, out: &mut Vec<u8>) {
     put_samples(out, &f.healthy_ms);
     put_samples(out, &f.degraded_ms);
     put_samples(out, &f.rebuilding_ms);
+    put_u64(out, report.witness);
 }
 
 fn decode_report(r: &mut Reader<'_>) -> Option<RunReport> {
@@ -547,6 +548,7 @@ fn decode_report(r: &mut Reader<'_>) -> Option<RunReport> {
     report.faults.healthy_ms = get_samples(r)?;
     report.faults.degraded_ms = get_samples(r)?;
     report.faults.rebuilding_ms = get_samples(r)?;
+    report.witness = r.u64()?;
     Some(report)
 }
 

@@ -323,6 +323,13 @@ pub fn report_json(r: &mut RunReport) -> Json {
         ]);
         j.push_field("faults", faults);
     }
+    // The determinism witness is opt-in (MIMD_WITNESS_JSON=1): the golden
+    // md5 sums over figure JSON predate the field, so emitting it by
+    // default would change every gated byte stream. The CI witness gate
+    // sets the variable and diffs the values across thread counts.
+    if std::env::var_os("MIMD_WITNESS_JSON").is_some_and(|v| v == "1") {
+        j.push_field("witness", Json::from(format!("{:016x}", r.witness)));
+    }
     j
 }
 

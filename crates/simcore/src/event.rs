@@ -154,6 +154,14 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(at, _, event)| (at, event))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's insertion
+    /// sequence number — the FIFO tie-break among same-instant events.
+    /// The engine folds it into the determinism witness so two pops at
+    /// the same nanosecond remain distinguishable in the digest.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
         if self.len == 0 {
             return None;
         }
@@ -190,7 +198,7 @@ impl<E> EventQueue<E> {
             self.frontier
         );
         self.frontier = e.at;
-        Some((e.at, e.event))
+        Some((e.at, e.seq, e.event))
     }
 
     /// Moves the cursor forward to `new_cur` and pulls far-list events whose

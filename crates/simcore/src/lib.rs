@@ -21,6 +21,9 @@
 //! - [`stats`]: streaming statistics ([`OnlineStats`]), exact percentile
 //!   summaries ([`SampleSet`]), latency histograms ([`Histogram`]), and the
 //!   Ruemmler–Wilkes *demerit figure* used by the paper's Table 2.
+//! - [`witness`]: an order-sensitive digest ([`witness::DetWitness`]) of
+//!   the event pops a run makes, so CI can assert serial and threaded
+//!   runs processed events in the identical order.
 //!
 //! # Examples
 //!
@@ -40,8 +43,10 @@ pub mod invariant;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod witness;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use stats::{demerit, Histogram, OnlineStats, SampleSet};
 pub use time::{SimDuration, SimTime};
+pub use witness::DetWitness;

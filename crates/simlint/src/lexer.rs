@@ -1,0 +1,808 @@
+//! A hand-rolled Rust lexer for the analyzer.
+//!
+//! One character-level pass over a source file produces everything the
+//! later passes need, with string/comment content never leaking into any
+//! of them:
+//!
+//! - a **token stream** ([`Token`]) with kinds (identifiers, literals,
+//!   lifetimes, punctuation) and 1-based line numbers, for the item/model
+//!   pass and the token-pattern rules;
+//! - **masked line text** ([`Line::code`]): the source line with string,
+//!   char, and comment content replaced by spaces, so substring rules
+//!   (`has_token`-style) can never fire inside text;
+//! - **waiver directives** ([`Directive`]), parsed **only** from plain
+//!   `//` line comments — never from doc comments (`///`, `//!`), block
+//!   comments, or string literals, so a quoted or commented-out
+//!   `simlint: allow(...)` can neither suppress nor (as text) trigger a
+//!   rule;
+//! - `#[cfg(test)]` **regions**, tracked by brace depth, so test modules
+//!   stay exempt.
+//!
+//! The lexer understands nested block comments, raw strings (`r"…"`,
+//! `r#"…"#`, any hash depth), byte strings (`b"…"`, `br#"…"#`), char
+//! literals vs lifetimes (`'a'` vs `'a`), raw identifiers (`r#match`),
+//! and numeric literals including float exponents — `0..n` lexes as
+//! `0`, `..`, `n`, never as a malformed float.
+
+use crate::Rule;
+
+/// What a token is. Literal *content* is deliberately not stored for
+/// strings (rules must never match inside text); identifier text is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `SimRng`, `r#match` → `match`).
+    Ident(String),
+    /// A lifetime (`'a`), including the quote-less name.
+    Lifetime(String),
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal, verbatim (`1_000.0`, `0xFF`, `1e-9`).
+    Num(String),
+    /// One punctuation character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A waiver directive parsed from a plain `//` comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive's comment sits on.
+    pub line: usize,
+    /// `true` when the directive's line holds no code, in which case it
+    /// covers the next line instead (the conventional "waiver above").
+    pub own_line: bool,
+    /// The directive's payload.
+    pub kind: DirectiveKind,
+}
+
+/// The two directive vocabularies.
+#[derive(Debug, Clone)]
+pub enum DirectiveKind {
+    /// `// simlint: allow(rule, …) — reason`: waives the named rules.
+    /// `reason` is the text after the closing paren, trimmed of leading
+    /// separators; an empty reason makes the waiver invalid (reported,
+    /// not honored).
+    Allow { rules: Vec<Rule>, reason: String },
+    /// `// simlint: shard-local(reason)`: asserts the interior-mutable
+    /// state on this line is confined to one shard (one simulator, one
+    /// drive queue, one thread) and waives `shared-mutability` for it.
+    ShardLocal { reason: String },
+}
+
+/// One source line's masked text and test-region membership.
+#[derive(Debug)]
+pub struct Line {
+    /// Line content with string/char literals and comments replaced by
+    /// spaces. Identical in length to the source line.
+    pub code: String,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// The complete result of lexing one file.
+#[derive(Debug)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub lines: Vec<Line>,
+    pub directives: Vec<Directive>,
+}
+
+impl Lexed {
+    /// Whether the token at `idx` lies inside a `#[cfg(test)]` region.
+    pub fn token_in_test(&self, idx: usize) -> bool {
+        self.tokens
+            .get(idx)
+            .and_then(|t| self.lines.get(t.line - 1))
+            .is_some_and(|l| l.in_test)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    lines: Vec<Line>,
+    directives: Vec<Directive>,
+    /// Masked text of the line currently being built.
+    cur: String,
+    /// Whether any code (non-comment, non-whitespace) appeared on the
+    /// current line before the directive comment under construction.
+    cur_has_code: bool,
+    depth: i64,
+    pending_test_attr: bool,
+    test_until_depth: Option<i64>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            lines: Vec::new(),
+            directives: Vec::new(),
+            cur: String::new(),
+            cur_has_code: false,
+            depth: 0,
+            pending_test_attr: false,
+            test_until_depth: None,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<u8> {
+        self.src.get(self.pos + k).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.finish_line();
+        }
+        Some(b)
+    }
+
+    fn finish_line(&mut self) {
+        self.lines.push(Line {
+            code: std::mem::take(&mut self.cur),
+            in_test: self.test_until_depth.is_some(),
+        });
+        self.cur_has_code = false;
+        self.line += 1;
+    }
+
+    fn mask(&mut self, b: u8) {
+        // Replace literal/comment content by spaces, keeping line length.
+        if b != b'\n' {
+            self.cur.push(' ');
+        }
+    }
+
+    fn emit(&mut self, b: u8) {
+        if b != b'\n' {
+            self.cur.push(b as char);
+            if !(b as char).is_whitespace() {
+                self.cur_has_code = true;
+            }
+        }
+    }
+
+    fn push_token(&mut self, kind: TokenKind) {
+        self.tokens.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            match b {
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0, false),
+                b'r' | b'b' => {
+                    if !self.raw_or_byte_prefix() {
+                        self.ident_or_keyword();
+                    }
+                }
+                b'\'' => self.char_or_lifetime(),
+                _ if is_ident_start(b as char) => self.ident_or_keyword(),
+                _ if (b as char).is_ascii_digit() => self.number(),
+                b'\n' => {
+                    self.bump();
+                }
+                _ => self.punct(),
+            }
+        }
+        if !self.cur.is_empty() || self.cur_has_code {
+            self.finish_line();
+        }
+        Lexed {
+            tokens: self.tokens,
+            lines: self.lines,
+            directives: self.directives,
+        }
+    }
+
+    /// Consumes `//…` to end of line. Plain `//` comments (not `///` or
+    /// `//!` docs) are scanned for directives.
+    fn line_comment(&mut self) {
+        let doc = matches!(self.peek_at(2), Some(b'/') | Some(b'!'))
+            // `////…` is a plain comment again (rustdoc's rule).
+            && !(self.peek_at(2) == Some(b'/') && self.peek_at(3) == Some(b'/'));
+        let had_code = self.cur_has_code;
+        let start_line = self.line;
+        let mut bytes = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            bytes.push(b);
+            self.mask(b);
+            self.pos += 1;
+        }
+        if !doc {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            self.parse_directives(&text, start_line, !had_code);
+        }
+    }
+
+    /// Consumes a (nested) `/* … */` block comment. Its text is discarded:
+    /// block comments can neither trigger rules nor carry waivers.
+    fn block_comment(&mut self) {
+        self.mask(b'/');
+        self.mask(b'*');
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.peek() {
+                None => break,
+                Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.mask(b'*');
+                    self.mask(b'/');
+                    self.pos += 2;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    depth += 1;
+                    self.mask(b'/');
+                    self.mask(b'*');
+                    self.pos += 2;
+                }
+                Some(b) => {
+                    self.mask(b);
+                    self.pos += 1;
+                    if b == b'\n' {
+                        self.finish_line();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns false if the `r`/`b` starts an ordinary identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.peek().expect("caller saw a byte");
+        let mut k = 1;
+        if b0 == b'b' && self.peek_at(k) == Some(b'r') {
+            k += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek_at(k + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek_at(k + hashes) {
+            Some(b'"') => {
+                let raw = b0 == b'r' || k == 2; // r"…", r#"…"#, br#"…"#
+                if raw {
+                    for _ in 0..k + hashes + 1 {
+                        let c = self.peek().expect("prefix bytes exist");
+                        self.mask(c);
+                        self.pos += 1;
+                    }
+                    self.raw_string_body(hashes);
+                } else {
+                    // b"…": escape-aware, not raw.
+                    self.mask(b'b');
+                    self.pos += 1;
+                    self.string(0, true);
+                }
+                true
+            }
+            Some(c) if b0 == b'r' && hashes == 1 && is_ident_start(c as char) => {
+                // Raw identifier r#name: token is the bare name.
+                self.mask(b'r');
+                self.mask(b'#');
+                self.pos += 2;
+                self.ident_or_keyword();
+                true
+            }
+            Some(b'\'') if b0 == b'b' && hashes == 0 => {
+                self.mask(b'b');
+                self.pos += 1;
+                self.char_literal_body();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a non-raw string body after the opening quote was seen at
+    /// `pos` (for `string(0, …)` the quote itself is still pending).
+    fn string(&mut self, _hashes: usize, _byte: bool) {
+        self.mask(b'"');
+        self.pos += 1;
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.mask(b);
+                    self.pos += 1;
+                    if let Some(e) = self.peek() {
+                        self.mask(e);
+                        self.pos += 1;
+                        if e == b'\n' {
+                            self.finish_line();
+                        }
+                    }
+                }
+                b'"' => {
+                    self.mask(b);
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.finish_line();
+                }
+                _ => {
+                    self.mask(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push_token(TokenKind::Str);
+    }
+
+    /// Consumes a raw-string body after the opening quote; closes on `"`
+    /// followed by `hashes` hash marks.
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.peek() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek_at(1 + seen) == Some(b'#') {
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..=hashes {
+                            let c = self.peek().expect("closer bytes exist");
+                            self.mask(c);
+                            self.pos += 1;
+                        }
+                        break;
+                    }
+                    self.mask(b'"');
+                    self.pos += 1;
+                }
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.finish_line();
+                }
+                Some(b) => {
+                    self.mask(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.push_token(TokenKind::Str);
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        // Lifetime: quote, ident start, and the char after the ident run
+        // is NOT a closing quote.
+        if let Some(c1) = self.peek_at(1) {
+            if is_ident_start(c1 as char) && c1 != b'\\' {
+                let mut k = 2;
+                while self
+                    .peek_at(k)
+                    .is_some_and(|c| is_ident_continue(c as char))
+                {
+                    k += 1;
+                }
+                if self.peek_at(k) != Some(b'\'') {
+                    // Lifetime.
+                    self.emit(b'\'');
+                    self.pos += 1;
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_continue(c as char) {
+                            name.push(c as char);
+                            self.emit(c);
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push_token(TokenKind::Lifetime(name));
+                    return;
+                }
+            }
+        }
+        self.char_literal_body();
+    }
+
+    fn char_literal_body(&mut self) {
+        self.mask(b'\'');
+        self.pos += 1;
+        match self.peek() {
+            Some(b'\\') => {
+                self.mask(b'\\');
+                self.pos += 1;
+                // The escaped character itself (may be a quote), then
+                // everything through the real closing quote.
+                if let Some(e) = self.peek() {
+                    self.mask(e);
+                    self.pos += 1;
+                }
+                while let Some(b) = self.peek() {
+                    self.mask(b);
+                    self.pos += 1;
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                // Possibly multi-byte UTF-8; consume until closing quote.
+                while let Some(b) = self.peek() {
+                    self.mask(b);
+                    self.pos += 1;
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+            }
+            None => {}
+        }
+        self.push_token(TokenKind::Char);
+    }
+
+    fn ident_or_keyword(&mut self) {
+        let mut name = String::new();
+        while let Some(b) = self.peek() {
+            if is_ident_continue(b as char) {
+                name.push(b as char);
+                self.emit(b);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident(name));
+    }
+
+    /// Lexes a numeric literal. Stops before `..` so ranges never merge
+    /// into a float (`0..n`), and takes an exponent only when it is
+    /// well-formed (`1e9`, `1e-9` — but `11e9` is still one literal; the
+    /// *rules* decide what counts as a conversion).
+    fn number(&mut self) {
+        let mut text = String::new();
+        let take = |this: &mut Self, pred: fn(u8) -> bool, text: &mut String| {
+            while let Some(b) = this.peek() {
+                if pred(b) {
+                    text.push(b as char);
+                    this.emit(b);
+                    this.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        };
+        let digitish = |b: u8| (b as char).is_ascii_alphanumeric() || b == b'_';
+        take(self, digitish, &mut text);
+        // Fraction: a dot followed by a digit (not `..`, not `.method()`).
+        if self.peek() == Some(b'.')
+            && self
+                .peek_at(1)
+                .is_some_and(|c| (c as char).is_ascii_digit())
+        {
+            text.push('.');
+            self.emit(b'.');
+            self.pos += 1;
+            take(self, digitish, &mut text);
+        } else if self.peek() == Some(b'.')
+            && self.peek_at(1) != Some(b'.')
+            && !self.peek_at(1).is_some_and(|c| is_ident_start(c as char))
+        {
+            // Trailing-dot float (`1.`).
+            text.push('.');
+            self.emit(b'.');
+            self.pos += 1;
+        }
+        // Exponent sign (`1e-9`): the alnum run above already ate `e9`,
+        // but a sign needs explicit stitching.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(), Some(b'+') | Some(b'-'))
+            && self
+                .peek_at(1)
+                .is_some_and(|c| (c as char).is_ascii_digit())
+        {
+            let sign = self.peek().expect("sign byte");
+            text.push(sign as char);
+            self.emit(sign);
+            self.pos += 1;
+            take(self, digitish, &mut text);
+        }
+        self.push_token(TokenKind::Num(text));
+    }
+
+    fn punct(&mut self) {
+        let b = self.peek().expect("caller saw a byte");
+        self.emit(b);
+        self.pos += 1;
+        if !(b as char).is_whitespace() {
+            self.push_token(TokenKind::Punct(b as char));
+        }
+        match b {
+            b'{' => {
+                self.depth += 1;
+                if self.pending_test_attr {
+                    self.pending_test_attr = false;
+                    self.test_until_depth = Some(self.depth - 1);
+                }
+            }
+            b'}' => {
+                self.depth -= 1;
+                if self.test_until_depth == Some(self.depth) {
+                    self.test_until_depth = None;
+                }
+            }
+            // Closed an attribute? Check for a trailing #[cfg(test)].
+            b']' if self.test_until_depth.is_none() && self.cfg_test_just_closed() => {
+                self.pending_test_attr = true;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the token stream now ends in `# [ cfg ( test ) ]`.
+    fn cfg_test_just_closed(&self) -> bool {
+        let n = self.tokens.len();
+        if n < 7 {
+            return false;
+        }
+        let t = &self.tokens[n - 7..];
+        t[0].is_punct('#')
+            && t[1].is_punct('[')
+            && t[2].is_ident("cfg")
+            && t[3].is_punct('(')
+            && t[4].is_ident("test")
+            && t[5].is_punct(')')
+            && t[6].is_punct(']')
+    }
+
+    /// Parses `simlint: allow(…)` and `simlint: shard-local(…)` out of a
+    /// plain line comment's text.
+    fn parse_directives(&mut self, text: &str, line: usize, own_line: bool) {
+        let mut rest = text;
+        while let Some(pos) = rest.find("simlint:") {
+            let after = rest[pos + "simlint:".len()..].trim_start();
+            if let Some(args) = after.strip_prefix("allow(") {
+                if let Some(close) = args.find(')') {
+                    let rules: Vec<Rule> = args[..close]
+                        .split(',')
+                        .filter_map(|n| Rule::from_name(n.trim()))
+                        .collect();
+                    let reason = trim_reason(&args[close + 1..]);
+                    self.directives.push(Directive {
+                        line,
+                        own_line,
+                        kind: DirectiveKind::Allow { rules, reason },
+                    });
+                    rest = &args[close..];
+                    continue;
+                }
+            } else if let Some(args) = after.strip_prefix("shard-local(") {
+                if let Some(close) = args.rfind(')') {
+                    let reason = args[..close].trim().to_string();
+                    self.directives.push(Directive {
+                        line,
+                        own_line,
+                        kind: DirectiveKind::ShardLocal { reason },
+                    });
+                    rest = &args[close..];
+                    continue;
+                }
+            }
+            rest = &rest[pos + "simlint:".len()..];
+        }
+    }
+}
+
+/// Strips the conventional separators off a waiver's trailing reason.
+fn trim_reason(s: &str) -> String {
+    s.trim_start_matches([' ', '\t', '—', '-', ':', ';'])
+        .trim()
+        .to_string()
+}
+
+/// Lexes one file.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens.iter().filter_map(|t| t.ident()).collect()
+    }
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let l = lex("let s = \"x.unwrap()\"; // trailing\n/* HashMap */ let t = 1;\n");
+        assert!(!l.lines[0].code.contains("unwrap"));
+        assert!(!l.lines[0].code.contains("trailing"));
+        assert!(!l.lines[1].code.contains("HashMap"));
+        assert!(l.lines[1].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let l = lex("let a = r\"un\\wrap\"; let b = r##\"x \"# y\"##; let c = a;\n");
+        assert!(!l.lines[0].code.contains("wrap"));
+        assert!(l.lines[0].code.contains("let c = a;"));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let l = lex("let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;\n");
+        assert!(!l.lines[0].code.contains("bytes"));
+        assert!(!l.lines[0].code.contains("raw"));
+        let kinds: Vec<_> = l.tokens.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::Str));
+        assert!(kinds.contains(&&TokenKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { let c = 'x'; let q = '\\''; c }\n");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Lifetime(n) if n == "a")));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let l = lex("let r = 0..n; let f = 1.5e-3; let m = 4.max(2); let t = 1_000.0;\n");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e-3", "4", "2", "1_000.0"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* a /* b */ c */ let x = 1;\n");
+        assert!(l.lines[0].code.contains("let x = 1;"));
+        assert!(!l.lines[0].code.contains('a'));
+    }
+
+    #[test]
+    fn directives_only_from_plain_line_comments() {
+        let src = "\
+let a = 1; // simlint: allow(panic) — fine here\n\
+/// simlint: allow(panic) — doc text, not a directive\n\
+//! simlint: allow(panic) — module doc, not a directive\n\
+/* simlint: allow(panic) — block comment, not a directive */\n\
+let s = \"simlint: allow(panic) — string, not a directive\";\n";
+        let l = lex(src);
+        assert_eq!(l.directives.len(), 1, "{:?}", l.directives);
+        assert_eq!(l.directives[0].line, 1);
+        assert!(!l.directives[0].own_line);
+    }
+
+    #[test]
+    fn own_line_directive_flagged_as_such() {
+        let l = lex("    // simlint: allow(panic) — next line\n    x.unwrap();\n");
+        assert_eq!(l.directives.len(), 1);
+        assert!(l.directives[0].own_line);
+    }
+
+    #[test]
+    fn shard_local_directive_parses_reason() {
+        let l = lex("phase: Cell<f64>, // simlint: shard-local(per-queue memo, one drive)\n");
+        match &l.directives[0].kind {
+            DirectiveKind::ShardLocal { reason } => {
+                assert_eq!(reason, "per-queue memo, one drive");
+            }
+            other => panic!("wrong directive: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_reason_extracted_after_close_paren() {
+        let l = lex("x.unwrap() // simlint: allow(panic, time-units) — checked above\n");
+        match &l.directives[0].kind {
+            DirectiveKind::Allow { rules, reason } => {
+                assert_eq!(rules.len(), 2);
+                assert_eq!(reason, "checked above");
+            }
+            other => panic!("wrong directive: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_without_reason_is_empty_string() {
+        let l = lex("x.unwrap() // simlint: allow(panic)\n");
+        match &l.directives[0].kind {
+            DirectiveKind::Allow { reason, .. } => assert!(reason.is_empty()),
+            other => panic!("wrong directive: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_braced_items() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[3].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_names() {
+        let l = lex("let r#match = 1; let x = r#match;\n");
+        assert_eq!(idents(&l).iter().filter(|i| **i == "match").count(), 2);
+    }
+
+    #[test]
+    fn multiline_strings_mask_every_line() {
+        let l = lex("let s = \"line one\nunwrap() inside\";\nlet x = 1;\n");
+        assert!(!l.lines[1].code.contains("unwrap"));
+        assert!(l.lines[2].code.contains("let x = 1;"));
+    }
+}

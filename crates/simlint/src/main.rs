@@ -1,13 +1,20 @@
-//! CLI entry point: lint the workspace and report violations.
+//! CLI entry point: lint the workspace and report findings.
 //!
 //! Run from anywhere inside the workspace:
 //!
 //! ```text
-//! cargo run -p simlint
+//! cargo run -p simlint [-- --json[=FILE]] [--github]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` I/O failure.
-//! Diagnostics are `file:line: [rule] message`, one per line on stderr.
+//! - `--json` prints the machine-readable findings document (all
+//!   findings, waived included) to stdout; `--json=FILE` writes it to
+//!   FILE instead.
+//! - `--github` prints one GitHub Actions workflow annotation
+//!   (`::error file=..,line=..::..`) per active finding to stdout.
+//!
+//! Human diagnostics (`file:line: [rule] message`, active findings
+//! only) always go to stderr. Exit codes are stable for CI: `0` clean,
+//! `1` active findings, `2` I/O or usage failure.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,29 +39,70 @@ fn workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
+    let mut json_to: Option<Option<PathBuf>> = None; // Some(None) = stdout
+    let mut github = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json_to = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            json_to = Some(Some(PathBuf::from(path)));
+        } else if arg == "--github" {
+            github = true;
+        } else {
+            eprintln!(
+                "simlint: unknown argument `{arg}` (usage: simlint [--json[=FILE]] [--github])"
+            );
+            return ExitCode::from(2);
+        }
+    }
+
     let Some(root) = workspace_root() else {
         eprintln!("simlint: no workspace Cargo.toml found above the current directory");
         return ExitCode::from(2);
     };
-    match simlint::lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("simlint: workspace clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
-            }
-            eprintln!(
-                "simlint: {} violation{} found",
-                violations.len(),
-                if violations.len() == 1 { "" } else { "s" }
-            );
-            ExitCode::from(1)
-        }
+    let findings = match simlint::lint_workspace(&root) {
+        Ok(findings) => findings,
         Err(err) => {
             eprintln!("simlint: I/O error: {err}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(dest) = &json_to {
+        let doc = simlint::findings_json(&findings);
+        match dest {
+            None => print!("{doc}"),
+            Some(path) => {
+                if let Err(err) = std::fs::write(path, &doc) {
+                    eprintln!("simlint: cannot write {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let active: Vec<&simlint::Finding> = findings.iter().filter(|f| !f.waived).collect();
+    if github {
+        for f in &active {
+            println!("{}", f.github_annotation());
+        }
+    }
+    for f in &active {
+        eprintln!("{f}");
+    }
+    if active.is_empty() {
+        let waived = findings.len();
+        eprintln!(
+            "simlint: workspace clean ({waived} waived finding{} on file)",
+            if waived == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} active finding{}",
+            active.len(),
+            if active.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::from(1)
     }
 }

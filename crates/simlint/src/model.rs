@@ -1,0 +1,592 @@
+//! Item/scope model and conservative call graph.
+//!
+//! The second analyzer pass walks each file's token stream (from
+//! [`crate::lexer`]) and builds a per-crate model of functions (with
+//! impl-qualified names), struct/enum definitions, and the calls each
+//! function body makes. On top of that sits a **conservative,
+//! name-based call graph**: an edge exists from a function to every
+//! workspace function a called name *could* resolve to. Resolution is
+//! deliberately over-approximate —
+//!
+//! - `Type::method(..)` with a workspace-known `Type` resolves exactly
+//!   to `Type::method`;
+//! - every other call (bare `helper(..)`, method `.pick(..)`,
+//!   `Self::..`, or a qualified call on an unknown/std type) resolves
+//!   to **every** workspace function with that final name segment —
+//!
+//! so reachability errs toward "yes". That is the right direction for
+//! shard-safety rules: an unreachable false positive costs one waiver
+//! comment; a reachable false negative hides a determinism bug.
+//!
+//! Reachability starts from the simulation entry points (`ArraySim::run*`
+//! / `::new`, `EventQueue::push`/`pop*`, `DriveQueue::pick*`) and closes
+//! over the graph. The model also tracks a *reachable identifier* set
+//! (every identifier that occurs in a reachable body, closed over struct
+//! definitions those identifiers name), which rules use to decide
+//! whether a struct's interior-mutable field is visible to sim code.
+
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function item: `fn` keyword through closing body brace.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Qualified name: `Type::name` inside an `impl Type`, else `name`.
+    pub name: String,
+    /// Token index of the `fn` keyword (containment includes the
+    /// signature, so a `Cell<..>` parameter belongs to the fn).
+    pub sig: usize,
+    /// Token indices of the body `{` and its matching `}`.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the call graph reaches this fn from a sim entry point.
+    pub reachable: bool,
+}
+
+/// A struct/enum/union definition with its brace span (if braced).
+#[derive(Debug)]
+pub struct StructItem {
+    pub name: String,
+    /// Token index of the introducing keyword.
+    pub sig: usize,
+    /// Token indices of the body braces; `None` for unit/tuple forms.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Items parsed out of one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+}
+
+/// One call site inside a fn body.
+#[derive(Debug)]
+struct CallRef {
+    /// `Some("Type")` for `Type::name(..)` paths.
+    owner: Option<String>,
+    name: String,
+}
+
+/// The workspace-wide model: per-file items plus global reachability.
+pub struct Workspace {
+    files: BTreeMap<String, FileAnalysis>,
+    reachable_idents: BTreeSet<String>,
+}
+
+/// Whether a qualified fn name is a simulation entry point.
+fn is_entry(name: &str) -> bool {
+    name.starts_with("ArraySim::run")
+        || name == "ArraySim::new"
+        || name.starts_with("EventQueue::push")
+        || name.starts_with("EventQueue::pop")
+        || name.starts_with("DriveQueue::pick")
+}
+
+/// Keywords that look like `ident (` but are never calls.
+const NON_CALL_KEYWORDS: [&str; 6] = ["if", "while", "for", "match", "return", "fn"];
+
+impl Workspace {
+    /// Builds the model from lexed files (path, tokens).
+    pub fn build(inputs: &[(&str, &Lexed)]) -> Workspace {
+        let mut files: BTreeMap<String, FileAnalysis> = BTreeMap::new();
+        for (path, lx) in inputs {
+            files.insert((*path).to_string(), parse_items(lx));
+        }
+
+        // Workspace-known type names: impl targets and struct names.
+        let mut known_types: BTreeSet<String> = BTreeSet::new();
+        for fa in files.values() {
+            for s in &fa.structs {
+                known_types.insert(s.name.clone());
+            }
+            for f in &fa.fns {
+                if let Some((ty, _)) = f.name.split_once("::") {
+                    known_types.insert(ty.to_string());
+                }
+            }
+        }
+
+        // Name indexes for call resolution.
+        let mut by_last: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+        let mut by_full: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+        for (path, fa) in &files {
+            for (idx, f) in fa.fns.iter().enumerate() {
+                let last = f.name.rsplit("::").next().unwrap_or(&f.name);
+                by_last
+                    .entry(last.to_string())
+                    .or_default()
+                    .push((path.clone(), idx));
+                by_full
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push((path.clone(), idx));
+            }
+        }
+
+        // BFS from entry points over the name-resolved call graph.
+        let lex_of: BTreeMap<&str, &Lexed> = inputs.iter().map(|(p, l)| (*p, *l)).collect();
+        let mut work: Vec<(String, usize)> = Vec::new();
+        let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+        for (path, fa) in &files {
+            for (idx, f) in fa.fns.iter().enumerate() {
+                if is_entry(&f.name) {
+                    work.push((path.clone(), idx));
+                    seen.insert((path.clone(), idx));
+                }
+            }
+        }
+        while let Some((path, idx)) = work.pop() {
+            let span = files[&path].fns[idx].body;
+            let Some(lx) = lex_of.get(path.as_str()) else {
+                continue;
+            };
+            for call in calls_in(lx, span) {
+                let targets: &[(String, usize)] = match &call.owner {
+                    Some(ty) if ty != "Self" && known_types.contains(ty) => by_full
+                        .get(&format!("{ty}::{}", call.name))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]),
+                    _ => by_last.get(&call.name).map(Vec::as_slice).unwrap_or(&[]),
+                };
+                for t in targets {
+                    if seen.insert(t.clone()) {
+                        work.push(t.clone());
+                    }
+                }
+            }
+        }
+        for (path, idx) in &seen {
+            if let Some(fa) = files.get_mut(path) {
+                fa.fns[*idx].reachable = true;
+            }
+        }
+
+        // Reachable identifiers: everything named in a reachable body,
+        // closed over the struct definitions those identifiers name (so
+        // a field type referenced only via a reachable struct counts).
+        let mut reachable_idents: BTreeSet<String> = BTreeSet::new();
+        for (path, fa) in &files {
+            let Some(lx) = lex_of.get(path.as_str()) else {
+                continue;
+            };
+            for f in fa.fns.iter().filter(|f| f.reachable) {
+                for tok in &lx.tokens[f.sig..=f.body.1.min(lx.tokens.len() - 1)] {
+                    if let TokenKind::Ident(name) = &tok.kind {
+                        reachable_idents.insert(name.clone());
+                    }
+                }
+            }
+        }
+        loop {
+            let mut grew = false;
+            for (path, fa) in &files {
+                let Some(lx) = lex_of.get(path.as_str()) else {
+                    continue;
+                };
+                for s in &fa.structs {
+                    let Some((b0, b1)) = s.body else { continue };
+                    if !reachable_idents.contains(&s.name) {
+                        continue;
+                    }
+                    for tok in &lx.tokens[b0..=b1.min(lx.tokens.len() - 1)] {
+                        if let TokenKind::Ident(name) = &tok.kind {
+                            grew |= reachable_idents.insert(name.clone());
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        Workspace {
+            files,
+            reachable_idents,
+        }
+    }
+
+    /// The innermost fn whose span (signature through body) contains the
+    /// token index.
+    pub fn fn_at(&self, path: &str, tok: usize) -> Option<&FnItem> {
+        self.files.get(path)?.fns.iter().fold(None, |best, f| {
+            if f.sig <= tok && tok <= f.body.1 {
+                match best {
+                    Some(b) if span_len(b) <= span_len(f) => Some(b),
+                    _ => Some(f),
+                }
+            } else {
+                best
+            }
+        })
+    }
+
+    /// The innermost struct whose span contains the token index.
+    pub fn struct_at(&self, path: &str, tok: usize) -> Option<&StructItem> {
+        self.files.get(path)?.structs.iter().fold(None, |best, s| {
+            let Some((_, end)) = s.body else { return best };
+            if s.sig <= tok && tok <= end {
+                match best {
+                    Some(b) if b.body.is_some_and(|(_, e)| e - b.sig <= end - s.sig) => Some(b),
+                    _ => Some(s),
+                }
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Whether an identifier occurs anywhere in reachable sim code.
+    pub fn ident_reachable(&self, name: &str) -> bool {
+        self.reachable_idents.contains(name)
+    }
+}
+
+fn span_len(f: &FnItem) -> usize {
+    f.body.1 - f.sig
+}
+
+/// Parses fn/struct items out of one file's token stream.
+fn parse_items(lx: &Lexed) -> FileAnalysis {
+    let t = &lx.tokens;
+    let mut out = FileAnalysis::default();
+    // Stack of (brace depth at open, impl type name).
+    let mut impl_stack: Vec<(i64, String)> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut i = 0usize;
+    while i < t.len() {
+        match &t[i].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            TokenKind::Ident(kw) if kw == "impl" => {
+                match parse_impl_header(lx, i + 1) {
+                    Some((ty, open)) => {
+                        impl_stack.push((depth, ty));
+                        // Resume at the `{` so depth tracking sees it.
+                        i = open;
+                    }
+                    None => i += 1,
+                }
+            }
+            TokenKind::Ident(kw) if kw == "fn" => {
+                // `fn(`: a fn-pointer type, not an item.
+                let Some(name) = t.get(i + 1).and_then(|n| n.ident()) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < t.len() && t[j].is_punct('{') {
+                    let end = matching_brace(lx, j);
+                    let qualified = match impl_stack.last() {
+                        Some((_, ty)) => format!("{ty}::{name}"),
+                        None => name.to_string(),
+                    };
+                    out.fns.push(FnItem {
+                        name: qualified,
+                        sig: i,
+                        body: (j, end),
+                        line: t[i].line,
+                        reachable: false,
+                    });
+                    // Resume at the body `{` so nested items are found.
+                    i = j;
+                } else {
+                    i = j; // trait method without body: `;`
+                }
+            }
+            TokenKind::Ident(kw) if kw == "struct" || kw == "enum" || kw == "union" => {
+                let Some(name) = t.get(i + 1).and_then(|n| n.ident()) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                while j < t.len() && !t[j].is_punct('{') && !t[j].is_punct(';') {
+                    j += 1;
+                }
+                let body = (j < t.len() && t[j].is_punct('{')).then(|| (j, matching_brace(lx, j)));
+                out.structs.push(StructItem {
+                    name: name.to_string(),
+                    sig: i,
+                    body,
+                });
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses an impl header starting just past the `impl` keyword. Returns
+/// the target type name (last identifier at angle-depth 0, reset by
+/// `for`, stopped by `where`) and the token index of the body `{`.
+fn parse_impl_header(lx: &Lexed, from: usize) -> Option<(String, usize)> {
+    let t = &lx.tokens;
+    let mut angle: i64 = 0;
+    let mut ty: Option<String> = None;
+    let mut in_where = false;
+    let mut j = from;
+    while j < t.len() {
+        match &t[j].kind {
+            TokenKind::Punct('{') if angle <= 0 => {
+                return ty.map(|ty| (ty, j));
+            }
+            TokenKind::Punct(';') if angle <= 0 => return None,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('-') if t.get(j + 1).is_some_and(|n| n.is_punct('>')) => {
+                j += 1; // `->` in a generic bound: skip the `>` too
+            }
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Ident(name) if angle == 0 => {
+                if name == "where" {
+                    in_where = true;
+                } else if name == "for" {
+                    ty = None;
+                } else if !in_where {
+                    ty = Some(name.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+fn matching_brace(lx: &Lexed, open: usize) -> usize {
+    let t = &lx.tokens;
+    let mut depth = 0i64;
+    for (j, tok) in t.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    t.len().saturating_sub(1)
+}
+
+/// Skips a turbofish / generic argument list starting at the `<` at
+/// `open`; returns the index just past the matching `>`.
+fn skip_angles(lx: &Lexed, open: usize) -> usize {
+    let t = &lx.tokens;
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < t.len() {
+        match t[j].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('-') if t.get(j + 1).is_some_and(|n| n.is_punct('>')) => {
+                j += 1;
+            }
+            TokenKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            // A `;` or `{` means this was a comparison, not generics.
+            TokenKind::Punct(';') | TokenKind::Punct('{') => return open,
+            _ => {}
+        }
+        j += 1;
+    }
+    open
+}
+
+/// Extracts call references (`name(`, `.name(`, `Type::name(`, with
+/// turbofish tolerated) from a body token span.
+fn calls_in(lx: &Lexed, span: (usize, usize)) -> Vec<CallRef> {
+    let t = &lx.tokens;
+    let mut out = Vec::new();
+    let (s, e) = span;
+    for j in s..=e.min(t.len().saturating_sub(1)) {
+        let TokenKind::Ident(name) = &t[j].kind else {
+            continue;
+        };
+        if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        let mut k = j + 1;
+        if k + 2 < t.len() && t[k].is_punct(':') && t[k + 1].is_punct(':') && t[k + 2].is_punct('<')
+        {
+            k = skip_angles(lx, k + 2);
+        }
+        if k < t.len() && t[k].is_punct('(') {
+            let owner = if j >= 3 && t[j - 1].is_punct(':') && t[j - 2].is_punct(':') {
+                t[j - 3].ident().map(str::to_string)
+            } else {
+                None
+            };
+            out.push(CallRef {
+                owner,
+                name: name.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ws(files: &[(&str, &str)]) -> (Vec<Lexed>, Vec<(String, String)>) {
+        let lexed: Vec<Lexed> = files.iter().map(|(_, s)| lex(s)).collect();
+        let names = files
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect();
+        (lexed, names)
+    }
+
+    fn build<'a>(paths: &[&'a str], lexed: &'a [Lexed]) -> Workspace {
+        let inputs: Vec<(&str, &Lexed)> = paths.iter().copied().zip(lexed.iter()).collect();
+        Workspace::build(&inputs)
+    }
+
+    #[test]
+    fn impl_qualified_names_and_entry_reachability() {
+        let src = "\
+struct ArraySim;\n\
+impl ArraySim {\n    pub fn run_source(&self) { helper(); }\n}\n\
+fn helper() { deep(); }\n\
+fn deep() {}\n\
+fn island() {}\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        let fa = &m.files["a.rs"];
+        let by_name = |n: &str| fa.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("ArraySim::run_source").reachable);
+        assert!(by_name("helper").reachable);
+        assert!(by_name("deep").reachable);
+        assert!(!by_name("island").reachable);
+    }
+
+    #[test]
+    fn cross_file_reachability_via_method_calls() {
+        let a = "struct ArraySim;\nimpl ArraySim {\n    fn run_closed(&self, q: &Q) { q.service(); }\n}\n";
+        let b = "struct Q;\nimpl Q {\n    fn service(&self) {}\n    fn idle(&self) {}\n}\n";
+        let (lexed, _) = ws(&[("a.rs", a), ("b.rs", b)]);
+        let m = build(&["a.rs", "b.rs"], &lexed);
+        let fb = &m.files["b.rs"];
+        assert!(
+            fb.fns
+                .iter()
+                .find(|f| f.name == "Q::service")
+                .unwrap()
+                .reachable
+        );
+        assert!(
+            !fb.fns
+                .iter()
+                .find(|f| f.name == "Q::idle")
+                .unwrap()
+                .reachable
+        );
+    }
+
+    #[test]
+    fn known_type_qualified_calls_resolve_exactly() {
+        let src = "\
+struct ArraySim;\nstruct A;\nstruct B;\n\
+impl ArraySim { fn run(&self) { A::go(); } }\n\
+impl A { fn go() {} }\n\
+impl B { fn go() {} }\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        let fa = &m.files["a.rs"];
+        assert!(fa.fns.iter().find(|f| f.name == "A::go").unwrap().reachable);
+        assert!(!fa.fns.iter().find(|f| f.name == "B::go").unwrap().reachable);
+    }
+
+    #[test]
+    fn trait_impl_for_type_qualifies_by_target() {
+        let src = "struct Q;\nimpl std::fmt::Display for Q {\n    fn fmt(&self) {}\n}\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        assert_eq!(m.files["a.rs"].fns[0].name, "Q::fmt");
+    }
+
+    #[test]
+    fn generic_impl_headers_parse() {
+        let src = "struct EventQueue<E>(Vec<E>);\nimpl<E: Clone> EventQueue<E> {\n    fn push(&mut self, e: E) { self.touch(); }\n    fn touch(&self) {}\n}\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        let fa = &m.files["a.rs"];
+        assert_eq!(fa.fns[0].name, "EventQueue::push");
+        assert!(fa.fns[1].reachable, "push is an entry; touch is called");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "struct S { cb: fn(u64) -> u64 }\nfn real() {}\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        assert_eq!(m.files["a.rs"].fns.len(), 1);
+        assert_eq!(m.files["a.rs"].fns[0].name, "real");
+    }
+
+    #[test]
+    fn containment_includes_signature() {
+        let src = "fn f(c: &Cell<u64>) { body(); }\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        let cell_idx = lexed[0]
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("Cell"))
+            .unwrap();
+        assert_eq!(m.fn_at("a.rs", cell_idx).unwrap().name, "f");
+    }
+
+    #[test]
+    fn struct_spans_and_reachable_idents() {
+        let src = "\
+struct ArraySim;\n\
+struct BandEntry { phase: f64 }\n\
+struct Unused { x: u64 }\n\
+impl ArraySim { fn run(&self) { let _b: BandEntry; } }\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        assert!(m.ident_reachable("BandEntry"));
+        assert!(!m.ident_reachable("Unused"));
+        // Closure: field idents of reachable structs count too.
+        assert!(m.ident_reachable("phase"));
+        let band_idx = lexed[0]
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("phase"))
+            .unwrap();
+        assert_eq!(m.struct_at("a.rs", band_idx).unwrap().name, "BandEntry");
+    }
+
+    #[test]
+    fn turbofish_calls_are_recognized() {
+        let src = "struct ArraySim;\nimpl ArraySim { fn run(&self) { conv::<u64>(1); } }\nfn conv<T>(_x: T) {}\n";
+        let (lexed, _) = ws(&[("a.rs", src)]);
+        let m = build(&["a.rs"], &lexed);
+        let fa = &m.files["a.rs"];
+        assert!(fa.fns.iter().find(|f| f.name == "conv").unwrap().reachable);
+    }
+}

@@ -1,0 +1,354 @@
+//! Shard-safety rules over the item/call-graph model.
+//!
+//! These three rules exist to make ROADMAP item 1 — the sharded
+//! discrete-event engine — safe to attempt. Each flags a construct that
+//! is harmless in today's single-threaded simulator but becomes a
+//! determinism hazard the moment engine state is split across shards:
+//!
+//! - **shared-mutability** — `static mut`, `thread_local!`, and
+//!   interior-mutable types (`Cell`/`RefCell`/`UnsafeCell`) visible to
+//!   reachable sim code. Under sharding these are either cross-shard
+//!   data races or silently shard-divergent caches. Each site must be
+//!   annotated `// simlint: shard-local(reason)` asserting the state is
+//!   confined to one shard.
+//! - **float-order** — f64 accumulations (`.sum()`/`.fold()`/`+=`)
+//!   whose iteration source is not visibly ordered (slice iteration,
+//!   `BTree*` traversal, ranges). f64 addition is non-associative, so
+//!   any merge whose order a shard scheduler could permute drifts.
+//! - **rng-provenance** — every `SimRng` construction workspace-wide
+//!   must flow from `SimRng::named(seed, "literal-stream-name")`.
+//!   Anonymous seeds (`seed_from`) and stream forks (`.fork()`) tie a
+//!   stream's identity to *construction order*, which sharding
+//!   reorders; a named stream's identity is positional-order-free.
+//!
+//! `shared-mutability` and `float-order` are gated on the conservative
+//! call graph (see [`crate::model`]): code the sim entry points cannot
+//! reach may keep its local mutability. `rng-provenance` is
+//! deliberately ungated — a `SimRng` has no purpose *except* to feed
+//! sim code, wherever it is built.
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::model::Workspace;
+use crate::{Finding, Rule, Scope};
+
+/// Interior-mutability type names the shared-mutability rule tracks.
+const INTERIOR_MUT: [&str; 3] = ["Cell", "RefCell", "UnsafeCell"];
+
+/// Iterator sources/adapters whose traversal order is deterministic:
+/// slice/collection iteration, `BTree*` views, and explicit draining.
+const ORDERED_SOURCES: [&str; 12] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "keys",
+    "chars",
+    "bytes",
+    "windows",
+    "chunks",
+    "chunks_exact",
+    "drain",
+    "enumerate",
+];
+
+/// Runs the model-based rules over one lexed file.
+pub fn check(rel: &str, scope: &Scope, lx: &Lexed, ws: &Workspace, out: &mut Vec<Finding>) {
+    if scope.shared_mutability {
+        shared_mutability(rel, lx, ws, out);
+    }
+    if scope.float_order {
+        float_order(rel, lx, ws, out);
+    }
+    if scope.rng_provenance {
+        rng_provenance(rel, lx, out);
+    }
+}
+
+/// Whether the token at `idx` sits in code the sim entry points reach:
+/// its innermost fn is call-graph-reachable, its innermost struct is
+/// named by reachable code, or it is module-level (always visible).
+fn reachable_at(rel: &str, ws: &Workspace, idx: usize) -> bool {
+    if let Some(f) = ws.fn_at(rel, idx) {
+        return f.reachable;
+    }
+    if let Some(s) = ws.struct_at(rel, idx) {
+        return ws.ident_reachable(&s.name);
+    }
+    true // module-level state is visible to everything
+}
+
+fn shared_mutability(rel: &str, lx: &Lexed, ws: &Workspace, out: &mut Vec<Finding>) {
+    let t = &lx.tokens;
+    for (j, tok) in t.iter().enumerate() {
+        if lx.token_in_test(j) {
+            continue;
+        }
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        let next_is = |c: char| t.get(j + 1).is_some_and(|n| n.is_punct(c));
+        if name == "static" && t.get(j + 1).is_some_and(|n| n.is_ident("mut")) {
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::SharedMutability,
+                "`static mut` is process-global mutable state; under a sharded engine \
+                 this is a data race. Annotate `// simlint: shard-local(reason)` only \
+                 if provably confined, otherwise refactor"
+                    .to_string(),
+            ));
+        } else if name == "thread_local" && next_is('!') {
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::SharedMutability,
+                "`thread_local!` state diverges per shard thread; annotate \
+                 `// simlint: shard-local(reason)` if the cache is value-transparent \
+                 (memoisation only), otherwise refactor"
+                    .to_string(),
+            ));
+        } else if INTERIOR_MUT.contains(&name.as_str()) && next_is('<') {
+            // Type-position use (`Cell<f64>`); constructions (`Cell::new`)
+            // ride on the flagged declaration. `use` imports are skipped —
+            // the declaration site is the one that needs the annotation.
+            let line_code = lx
+                .lines
+                .get(tok.line - 1)
+                .map(|l| l.code.trim_start())
+                .unwrap_or("");
+            if line_code.starts_with("use ") || line_code.starts_with("pub use ") {
+                continue;
+            }
+            if !reachable_at(rel, ws, j) {
+                continue;
+            }
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::SharedMutability,
+                format!(
+                    "interior mutability (`{name}<..>`) reachable from sim code; a \
+                     sharded engine must not observe it across shards. Annotate \
+                     `// simlint: shard-local(reason)` or refactor to plain `&mut`"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether a token window contains evidence of floating-point math:
+/// an `f64`/`f32` type mention, a float literal, or a float turbofish.
+fn floatish(toks: &[crate::lexer::Token]) -> bool {
+    toks.iter().any(|t| match &t.kind {
+        TokenKind::Ident(i) => i == "f64" || i == "f32",
+        TokenKind::Num(n) => {
+            n.contains('.')
+                || n.ends_with("f64")
+                || n.ends_with("f32")
+                || (!n.starts_with("0x") && n.contains(['e', 'E']) && !n.contains('_'))
+        }
+        _ => false,
+    })
+}
+
+/// Whether a token window names an ordered iteration source.
+fn ordered(toks: &[crate::lexer::Token]) -> bool {
+    for (j, t) in toks.iter().enumerate() {
+        match &t.kind {
+            // Range expressions (`0..n`) iterate in order.
+            TokenKind::Punct('.') if toks.get(j + 1).is_some_and(|n| n.is_punct('.')) => {
+                return true;
+            }
+            // Borrowed-container headers (`for d in &self.disks`).
+            TokenKind::Punct('&') => return true,
+            TokenKind::Ident(i)
+                if ORDERED_SOURCES.contains(&i.as_str())
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn float_order(rel: &str, lx: &Lexed, ws: &Workspace, out: &mut Vec<Finding>) {
+    let t = &lx.tokens;
+    // Stack of (brace depth at loop open, header is ordered).
+    let mut depth: i64 = 0;
+    let mut fors: Vec<(i64, bool)> = Vec::new();
+    let mut pending_for: Option<bool> = None;
+    let mut j = 0usize;
+    while j < t.len() {
+        match &t[j].kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if let Some(o) = pending_for.take() {
+                    fors.push((depth - 1, o));
+                }
+                j += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if fors.last().is_some_and(|(d, _)| *d == depth) {
+                    fors.pop();
+                }
+                j += 1;
+            }
+            TokenKind::Ident(kw) if kw == "for" => {
+                // Skip HRTBs (`for<'a>`); real loop headers end at `{`.
+                if t.get(j + 1).is_some_and(|n| n.is_punct('<')) {
+                    j += 1;
+                    continue;
+                }
+                let mut k = j + 1;
+                while k < t.len() && !t[k].is_punct('{') && !t[k].is_punct(';') {
+                    k += 1;
+                }
+                pending_for = Some(ordered(&t[j + 1..k.min(t.len())]));
+                j = k;
+            }
+            // `+=` on a float inside an unordered loop.
+            TokenKind::Punct('+')
+                if t.get(j + 1).is_some_and(|n| n.is_punct('='))
+                    && fors.last().is_some_and(|(_, o)| !o) =>
+            {
+                let line = t[j].line;
+                let same_line: Vec<_> = t.iter().filter(|x| x.line == line).cloned().collect();
+                if floatish(&same_line)
+                    && !lx.token_in_test(j)
+                    && ws.fn_at(rel, j).is_some_and(|f| f.reachable)
+                {
+                    out.push(Finding::new(
+                        rel,
+                        line,
+                        Rule::FloatOrder,
+                        "float `+=` accumulation inside a loop whose iteration source \
+                         is not visibly ordered (slice/BTree/range); f64 addition is \
+                         non-associative, so shard-order drift changes the result"
+                            .to_string(),
+                    ));
+                }
+                j += 2;
+            }
+            // `.sum::<f64>()` / `.fold(..)` / `.product()` reductions.
+            TokenKind::Ident(m)
+                if (m == "sum" || m == "fold" || m == "product")
+                    && j >= 1
+                    && t[j - 1].is_punct('.') =>
+            {
+                let stmt = statement_window(lx, j);
+                if floatish(stmt)
+                    && !ordered(stmt)
+                    && !lx.token_in_test(j)
+                    && ws.fn_at(rel, j).is_some_and(|f| f.reachable)
+                {
+                    out.push(Finding::new(
+                        rel,
+                        t[j].line,
+                        Rule::FloatOrder,
+                        format!(
+                            "float `.{m}(..)` over an iterator with no visibly ordered \
+                             source (`.iter()`, `BTree*` view, range); under sharding \
+                             the merge order — and the f64 result — is unstable"
+                        ),
+                    ));
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// The statement-ish token window around index `j`: from the previous
+/// `;`/`{`/`}` through the next `;` (bounded), so multi-line iterator
+/// chains are judged whole.
+fn statement_window(lx: &Lexed, j: usize) -> &[crate::lexer::Token] {
+    let t = &lx.tokens;
+    let stop = |k: usize| t[k].is_punct(';') || t[k].is_punct('{') || t[k].is_punct('}');
+    let mut s = j;
+    while s > 0 && !stop(s - 1) && j - s < 200 {
+        s -= 1;
+    }
+    let mut e = j;
+    while e + 1 < t.len() && !stop(e) && e - j < 200 {
+        e += 1;
+    }
+    &t[s..=e]
+}
+
+fn rng_provenance(rel: &str, lx: &Lexed, out: &mut Vec<Finding>) {
+    let t = &lx.tokens;
+    for (j, tok) in t.iter().enumerate() {
+        if lx.token_in_test(j) {
+            continue;
+        }
+        let TokenKind::Ident(name) = &tok.kind else {
+            continue;
+        };
+        let qualified_simrng = j >= 3
+            && t[j - 1].is_punct(':')
+            && t[j - 2].is_punct(':')
+            && t[j - 3].is_ident("SimRng");
+        let called = t.get(j + 1).is_some_and(|n| n.is_punct('('));
+        if name == "seed_from" && qualified_simrng && called {
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::RngProvenance,
+                "`SimRng::seed_from` creates an anonymous stream; construct via \
+                 `SimRng::named(seed, \"stream-name\")` so the stream's identity \
+                 survives shard reordering"
+                    .to_string(),
+            ));
+        } else if name == "fork" && called && j >= 1 && t[j - 1].is_punct('.') {
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::RngProvenance,
+                "`.fork()` derives a stream from construction order, which a sharded \
+                 engine reorders; use `SimRng::named(seed, \"stream-name\")` instead"
+                    .to_string(),
+            ));
+        } else if name == "named"
+            && qualified_simrng
+            && called
+            && !second_arg_is_str_literal(lx, j + 1)
+        {
+            out.push(Finding::new(
+                rel,
+                tok.line,
+                Rule::RngProvenance,
+                "`SimRng::named` stream name must be a string literal so every \
+                 stream is grep-able and collision-checked; computed names hide \
+                 provenance"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Whether the call whose `(` is at `open` has a string literal as its
+/// second top-level argument.
+fn second_arg_is_str_literal(lx: &Lexed, open: usize) -> bool {
+    let t = &lx.tokens;
+    let mut depth = 0i64;
+    for j in open..t.len().min(open + 200) {
+        match t[j].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return false; // call closed before a second argument
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => {
+                return t.get(j + 1).is_some_and(|n| n.kind == TokenKind::Str);
+            }
+            _ => {}
+        }
+    }
+    false
+}

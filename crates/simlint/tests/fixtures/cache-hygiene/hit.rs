@@ -1,0 +1,4 @@
+//@path crates/harness/src/fx_cache.rs
+pub fn dump(path: &str, body: &str) {
+    let _ = std::fs::write(path, body);
+}

@@ -1,0 +1,4 @@
+//@path crates/harness/src/fx_cache.rs
+pub fn dump(name: &str, j: &Json) {
+    write_json(name, j);
+}

@@ -1,0 +1,5 @@
+//@path crates/harness/src/fx_cache.rs
+pub fn dump(path: &str, body: &str) {
+    // simlint: allow(cache-hygiene) — fixture: writes under the MIMD_JSON_DIR root only
+    let _ = std::fs::write(path, body);
+}

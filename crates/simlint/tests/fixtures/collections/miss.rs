@@ -1,0 +1,4 @@
+//@path crates/simcore/src/fx_collections.rs
+pub struct Index {
+    map: BTreeMap<u64, u64>,
+}

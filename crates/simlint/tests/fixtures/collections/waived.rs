@@ -1,0 +1,5 @@
+//@path crates/simcore/src/fx_collections.rs
+pub struct Index {
+    // simlint: allow(collections) — fixture: keys are never iterated, only probed
+    map: HashMap<u64, u64>,
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/fx_determinism.rs
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

@@ -1,0 +1,7 @@
+//@path crates/core/src/fx_determinism.rs
+// `Instant::now` in a comment (or "SystemTime" in a string) must not fire:
+// the line rules run over the lexer's masked lines.
+pub fn stamp(now: SimTime) -> u64 {
+    let s = "calling Instant::now here would be a bug";
+    now.as_nanos() + s.len() as u64
+}

@@ -1,0 +1,6 @@
+//@path crates/core/src/fx_determinism.rs
+pub fn stamp() -> u64 {
+    // simlint: allow(determinism) — fixture: wall-clock read quarantined to this probe
+    let t = std::time::Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

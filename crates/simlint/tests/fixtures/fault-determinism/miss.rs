@@ -1,0 +1,4 @@
+//@path crates/core/src/faults.rs
+pub fn arm(seed: u64) -> SimRng {
+    SimRng::named(seed, "faults")
+}

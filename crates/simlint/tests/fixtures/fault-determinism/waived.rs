@@ -1,0 +1,5 @@
+//@path crates/core/src/faults.rs
+pub fn arm(seed: u64) -> SimRng {
+    // simlint: allow(fault-determinism, rng-provenance) — fixture: one directive may cover several rules
+    SimRng::seed_from(seed)
+}

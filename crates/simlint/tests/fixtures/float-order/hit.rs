@@ -1,0 +1,18 @@
+//@path crates/core/src/fx_float_order.rs
+impl ArraySim {
+    pub fn run_fx(&mut self, parts: Parts) -> f64 {
+        total(parts) + merge(parts)
+    }
+}
+
+fn total(parts: Parts) -> f64 {
+    let mut acc = 0.0f64;
+    for x in parts {
+        acc += x as f64;
+    }
+    acc
+}
+
+fn merge(parts: Parts) -> f64 {
+    parts.map(square).sum::<f64>()
+}

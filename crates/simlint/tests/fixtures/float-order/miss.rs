@@ -1,0 +1,29 @@
+//@path crates/core/src/fx_float_order.rs
+impl ArraySim {
+    pub fn run_fx(&mut self, parts: &[f64]) -> f64 {
+        total(parts) + merge(parts)
+    }
+}
+
+// Slice iteration is visibly ordered: no shard can permute it.
+fn total(parts: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for x in parts.iter() {
+        acc += *x;
+    }
+    acc
+}
+
+fn merge(parts: &[f64]) -> f64 {
+    parts.iter().map(|v| v * v).sum::<f64>()
+}
+
+// Unordered accumulation, but nothing reaches it from a sim entry
+// point, so the call-graph gate leaves it alone.
+fn debug_total(parts: Parts) -> f64 {
+    let mut acc = 0.0f64;
+    for x in parts {
+        acc += x as f64;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+//@path crates/core/src/fx_float_order.rs
+impl ArraySim {
+    pub fn run_fx(&mut self, parts: Parts) -> f64 {
+        total(parts)
+    }
+}
+
+fn total(parts: Parts) -> f64 {
+    let mut acc = 0.0f64;
+    for x in parts {
+        // simlint: allow(float-order) — fixture: source is pre-sorted upstream
+        acc += x as f64;
+    }
+    acc
+}

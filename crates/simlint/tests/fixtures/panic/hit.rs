@@ -1,0 +1,4 @@
+//@path crates/diskmodel/src/fx_panic.rs
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

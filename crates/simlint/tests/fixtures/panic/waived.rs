@@ -1,0 +1,5 @@
+//@path crates/diskmodel/src/fx_panic.rs
+pub fn head(xs: &[u64]) -> u64 {
+    // simlint: allow(panic) — fixture: caller guarantees non-empty by construction
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//@path crates/core/src/fx_parallelism.rs
+pub struct Owned {
+    value: u64,
+}

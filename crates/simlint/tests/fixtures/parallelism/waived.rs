@@ -1,0 +1,5 @@
+//@path crates/core/src/fx_parallelism.rs
+pub struct Shared {
+    // simlint: allow(parallelism) — fixture: lock is init-once, never touched mid-run
+    guard: Mutex<u64>,
+}

@@ -1,0 +1,12 @@
+//@path crates/workloads/src/fx_rng.rs
+pub fn anonymous(seed: u64) -> SimRng {
+    SimRng::seed_from(seed)
+}
+
+pub fn derived(parent: &mut SimRng) -> SimRng {
+    parent.fork()
+}
+
+pub fn computed(seed: u64, name: &str) -> SimRng {
+    SimRng::named(seed, name)
+}

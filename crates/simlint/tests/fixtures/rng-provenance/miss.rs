@@ -1,0 +1,4 @@
+//@path crates/workloads/src/fx_rng.rs
+pub fn arrivals(seed: u64) -> SimRng {
+    SimRng::named(seed, "workload-arrivals")
+}

@@ -1,0 +1,10 @@
+//@path crates/workloads/src/fx_rng.rs
+pub fn anonymous(seed: u64) -> SimRng {
+    // simlint: allow(rng-provenance) — fixture: seed is pre-mixed by the caller
+    SimRng::seed_from(seed)
+}
+
+pub fn derived(parent: &mut SimRng) -> SimRng {
+    // simlint: allow(rng-provenance) — fixture: fork order pinned by golden bytes
+    parent.fork()
+}

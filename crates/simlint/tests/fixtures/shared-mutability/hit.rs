@@ -1,0 +1,13 @@
+//@path crates/core/src/fx_shared_mut.rs
+pub static mut TICKS: u64 = 0;
+
+impl ArraySim {
+    pub fn run_fx(&mut self) -> f64 {
+        let m = Memo { slot: Cell::new(0.0) };
+        m.slot.get()
+    }
+}
+
+pub struct Memo {
+    pub slot: Cell<f64>,
+}

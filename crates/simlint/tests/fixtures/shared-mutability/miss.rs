@@ -1,0 +1,12 @@
+//@path crates/core/src/fx_shared_mut.rs
+// Nothing here is reachable from a sim entry point (`ArraySim::run*`,
+// `EventQueue` push/pop, `DriveQueue::pick*`), so the interior
+// mutability below may stay unannotated: the call-graph gate skips it.
+pub struct DebugProbe {
+    hits: Cell<u64>,
+}
+
+pub fn probe_only() -> u64 {
+    let p = DebugProbe { hits: Cell::new(0) };
+    p.hits.get()
+}

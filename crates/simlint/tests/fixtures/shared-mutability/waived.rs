@@ -1,0 +1,12 @@
+//@path crates/core/src/fx_shared_mut.rs
+impl ArraySim {
+    pub fn run_fx(&mut self) -> f64 {
+        let m = Memo { slot: Cell::new(0.0) };
+        m.slot.get()
+    }
+}
+
+pub struct Memo {
+    // simlint: shard-local(fixture: memo is owned by one queue, rebuilt per shard)
+    pub slot: Cell<f64>,
+}

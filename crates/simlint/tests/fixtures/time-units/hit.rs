@@ -1,0 +1,4 @@
+//@path crates/core/src/fx_time_units.rs
+pub fn to_ms(dur_ns: u64) -> f64 {
+    dur_ns as f64 * 1e-6
+}

@@ -1,0 +1,4 @@
+//@path crates/core/src/fx_time_units.rs
+pub fn to_ms(d: SimDuration) -> f64 {
+    d.as_millis_f64()
+}

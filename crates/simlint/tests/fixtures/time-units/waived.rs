@@ -1,0 +1,5 @@
+//@path crates/core/src/fx_time_units.rs
+pub fn to_ms(dur_ns: u64) -> f64 {
+    // simlint: allow(time-units) — fixture: display-only conversion at the JSON edge
+    dur_ns as f64 * 1e-6
+}
