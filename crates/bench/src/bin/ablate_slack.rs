@@ -50,8 +50,7 @@ fn main() {
     // watch the controller walk k up until the miss rate sits at the set
     // point, then hold.
     let mut ctl = SlackController::paper_default();
-    // simlint: allow(rng-provenance) — frozen demo stream: the printed trace depends on these exact draws
-    let mut rng = SimRng::seed_from(9);
+    let mut rng = SimRng::named(9, "slack-demo");
     println!("\nFeedback controller trace (window = 500 requests):");
     for window in 0..8 {
         for _ in 0..500 {

@@ -63,6 +63,21 @@ pub fn drive_character_4k() -> DiskCharacter {
     DiskCharacter::from_params(&p).with_transfer(8, &p)
 }
 
+/// The worker count one engine may use for its internal shard
+/// parallelism: `MIMD_SHARDS` (default 1 — experiments parallelise across
+/// grid cells, not inside them), clamped to the harness's
+/// [`mimd_harness::shard_budget`] so `cells × shards` never oversubscribes
+/// the machine. Results are byte-identical at any value; this only sets
+/// wall-clock concurrency.
+pub fn engine_threads() -> usize {
+    let want = std::env::var("MIMD_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    want.clamp(1, mimd_harness::shard_budget())
+}
+
 /// Runs a trace on a fresh array and returns the report.
 ///
 /// # Panics
@@ -71,6 +86,7 @@ pub fn drive_character_4k() -> DiskCharacter {
 pub fn run_trace(cfg: EngineConfig, trace: &Trace) -> RunReport {
     let mut sim =
         ArraySim::new(cfg, trace.data_sectors).expect("experiment shape must fit the data set");
+    sim.set_parallelism(engine_threads());
     sim.run_trace(trace)
 }
 
@@ -131,6 +147,7 @@ impl<'a> Job<'a> {
             } => {
                 let mut sim = ArraySim::new(cfg.clone(), spec.data_sectors)
                     .expect("experiment shape must fit the data set");
+                sim.set_parallelism(engine_threads());
                 sim.run_closed_loop(spec, *outstanding, *completions)
             }
         }

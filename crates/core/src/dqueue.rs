@@ -107,7 +107,7 @@ struct BandEntry {
     /// [`DriveQueue::visit_band`]. The phase folds in the disk's mutable
     /// spindle-phase offset, so the memo is valid only while `epoch`
     /// matches [`SimDisk::phase_epoch`].
-    // simlint: shard-local(per-queue memo owned by one DriveQueue/SimDisk pair; epoch-stamped against phase changes)
+    // simlint: shard-local(per-queue memo owned by one DriveQueue/SimDisk pair, which lives inside exactly one engine Shard and moves with it between worker threads; epoch-stamped against phase changes)
     phase: Cell<f64>,
     /// [`SimDisk::phase_epoch`] at the time `phase` was computed; a
     /// mismatch invalidates the memo, so a stale phase can never survive

@@ -76,6 +76,27 @@ pub struct FaultReport {
     pub rebuilding_ms: SampleSet,
 }
 
+impl FaultReport {
+    /// Folds a shard's fault counters into the array-level report.
+    ///
+    /// Counters sum; `rebuild_duration` keeps the longest rebuild. The
+    /// health-classified response sets are *not* merged — completions are
+    /// classified at the conductor, which is the only place the whole
+    /// array's health is known.
+    pub(crate) fn merge_counters(&mut self, other: &FaultReport) {
+        self.retries += other.retries;
+        self.redirects += other.redirects;
+        self.timeouts += other.timeouts;
+        self.media_errors += other.media_errors;
+        self.unrecoverable += other.unrecoverable;
+        self.rebuild_chunks += other.rebuild_chunks;
+        self.rebuilds_completed += other.rebuilds_completed;
+        if other.rebuild_duration > self.rebuild_duration {
+            self.rebuild_duration = other.rebuild_duration;
+        }
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -144,6 +165,30 @@ impl RunReport {
     /// The p-th response-time percentile in milliseconds.
     pub fn response_percentile_ms(&mut self, p: f64) -> Option<f64> {
         self.response_samples_ms.percentile(p)
+    }
+
+    /// Folds one shard's dispatch-level accounting into the array-level
+    /// report: physical-operation counters, delayed-write counters, and
+    /// the per-operation timing/prediction statistics. Always applied in
+    /// shard order, so the floating-point folds are independent of how
+    /// shards were packed onto worker threads.
+    pub(crate) fn merge_dispatch(&mut self, other: &RunReport) {
+        self.phys_requests += other.phys_requests;
+        self.delayed_propagated += other.delayed_propagated;
+        self.delayed_coalesced += other.delayed_coalesced;
+        self.prediction.misses += other.prediction.misses;
+        self.prediction.requests += other.prediction.requests;
+        self.prediction.error.merge(&other.prediction.error);
+        for &v in other.prediction.predicted_us.values() {
+            self.prediction.predicted_us.push(v);
+        }
+        for &v in other.prediction.actual_us.values() {
+            self.prediction.actual_us.push(v);
+        }
+        self.seek_ms.merge(&other.seek_ms);
+        self.rotation_ms.merge(&other.rotation_ms);
+        self.transfer_ms.merge(&other.transfer_ms);
+        self.queue_wait_ms.merge(&other.queue_wait_ms);
     }
 }
 

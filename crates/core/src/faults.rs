@@ -322,10 +322,15 @@ pub(crate) struct FaultCtx {
 
 impl FaultCtx {
     /// Builds the context for a non-empty plan.
-    pub(crate) fn new(plan: &FaultPlan, seed: u64, disks: usize) -> FaultCtx {
+    ///
+    /// `shard` indexes the owning engine shard: each shard draws media
+    /// errors from its own member of the `"faults"` stream family, so the
+    /// draw sequence is a pure function of `(seed, shard)` and never
+    /// depends on how work interleaves across shards.
+    pub(crate) fn new(plan: &FaultPlan, seed: u64, disks: usize, shard: u64) -> FaultCtx {
         FaultCtx {
             plan: plan.clone(),
-            rng: SimRng::named(seed, "faults"),
+            rng: SimRng::named_indexed(seed, "faults", shard),
             slow_now: vec![0; disks],
             rebuild: None,
             report: FaultReport {
@@ -411,9 +416,12 @@ mod tests {
     #[test]
     fn fault_ctx_uses_the_named_stream() {
         let plan = FaultPlan::new().media_errors(0.5, 0.5);
-        let mut a = FaultCtx::new(&plan, 7, 4);
-        let mut b = SimRng::named(7, "faults");
+        let mut a = FaultCtx::new(&plan, 7, 4, 0);
+        let mut b = SimRng::named_indexed(7, "faults", 0);
         assert_eq!(a.rng.below(1 << 30), b.below(1 << 30));
+        // Shards draw from distinct members of the stream family.
+        let mut c = FaultCtx::new(&plan, 7, 4, 1);
+        assert_ne!(a.rng.below(1 << 30), c.rng.below(1 << 30));
         assert!(a.report.active);
         assert!(!a.any_slow());
         a.slow_now[2] = 1;

@@ -222,6 +222,22 @@ impl Layout {
         ((column * self.shape.dr + row) * self.shape.dm + mirror) as usize
     }
 
+    /// The number of mirror groups in the array: `Ds × Dr` groups of `Dm`
+    /// disks each. A group is the closure of all replica traffic for the
+    /// units it owns — rotational replicas share a disk and mirror copies
+    /// stay inside the group — which makes it the engine's shard unit.
+    pub fn groups(&self) -> usize {
+        (self.shape.ds * self.shape.dr) as usize
+    }
+
+    /// The mirror group that owns a fragment. Group `g` owns exactly
+    /// disks `[g * Dm, (g + 1) * Dm)`; every replica, duplicate, retry,
+    /// and rebuild of the fragment stays on those disks.
+    pub fn group_of(&self, frag: Fragment) -> usize {
+        let (column, row, _) = self.grid_of(frag.lbn / self.stripe_unit as u64);
+        (column * self.shape.dr + row) as usize
+    }
+
     /// Splits a logical request at stripe-unit boundaries.
     pub fn fragments(&self, lbn: u64, sectors: u32) -> Vec<Fragment> {
         let mut out = Vec::new();

@@ -64,8 +64,7 @@ impl DriftingSpindle {
             phase_at_epoch_start: 0.0,
             max_drift_ppm,
             step_ppm,
-            // simlint: allow(rng-provenance) — spindle-drift seed is pre-mixed by the caller; renaming the stream would shift draws and the tab02 goldens
-            rng: SimRng::seed_from(seed),
+            rng: SimRng::named(seed, "spindle-drift"),
         }
     }
 

@@ -93,7 +93,7 @@ struct QuantSlot {
 /// hits return bit-identical values, never changing simulated time.
 #[derive(Debug, Clone)]
 struct QuantCache {
-    // simlint: shard-local(per-disk evaluation memo owned by one SimDisk; hits return bit-identical values)
+    // simlint: shard-local(per-disk evaluation memo owned by one SimDisk, itself owned by one engine Shard — never visible to two worker threads at once; hits return bit-identical values)
     slots: [std::cell::Cell<QuantSlot>; QUANT_WAYS],
 }
 
@@ -237,8 +237,7 @@ impl SimDisk {
             phase_offset: 0.0,
             phase_epoch: 0,
             busy_until: SimTime::ZERO,
-            // simlint: allow(rng-provenance) — seed is pre-mixed per disk by the engine's fork chain; renaming the stream would shift draws and the golden bytes
-            rng: SimRng::seed_from(seed),
+            rng: SimRng::named(seed, "disk-head"),
             rotation_misses: 0,
             requests_served: 0,
             quant: QuantCache::new(),

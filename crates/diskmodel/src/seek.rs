@@ -28,7 +28,7 @@ use crate::params::DiskParams;
 /// memo stops growing and extra models just refit.
 const FIT_CACHE_CAP: usize = 16;
 
-// simlint: shard-local(per-thread fit memo; value-transparent — a refit returns bit-identical tables)
+// simlint: shard-local(per-thread fit memo; value-transparent — a refit returns bit-identical tables. The engine fits once on the conductor thread and Arc-shares into shards, so shard workers never refit)
 thread_local! {
     /// Per-thread memo for [`SeekProfile::fit`]: `(params, fitted profile)`
     /// pairs, searched linearly (the list holds a handful of drive models

@@ -29,7 +29,7 @@ mod workload;
 pub use cache::{cache_dir, code_fingerprint, RunCache};
 pub use grid::{report_json, Cell, CellResult, GridResult, GridSpec, Workload};
 pub use json::Json;
-pub use pool::{configured_threads, parallel_map, parallel_map_with};
+pub use pool::{configured_threads, parallel_map, parallel_map_with, shard_budget};
 pub use workload::{shared_arena, shared_trace};
 
 use std::io::Write as _;

@@ -1,12 +1,22 @@
 //! An ordered, work-stealing parallel map over scoped threads.
 //!
-//! The pool is the **only** place in the workspace where threads are
-//! spawned (the `parallelism` simlint rule enforces this): every
-//! simulation below it stays single-threaded and deterministic, and the
-//! pool preserves that determinism by collecting results back in job
-//! order — the output of [`parallel_map`] is byte-for-byte identical to a
-//! serial `jobs.iter().map(f)` regardless of thread count or OS
-//! scheduling.
+//! The pool is the sanctioned place where experiment-level threads are
+//! spawned (the `parallelism` simlint rule enforces this; the engine's
+//! sharded conductor seam is the one waived exception below it): every
+//! simulation below it stays deterministic, and the pool preserves that
+//! determinism by collecting results back in job order — the output of
+//! [`parallel_map`] is byte-for-byte identical to a serial
+//! `jobs.iter().map(f)` regardless of thread count or OS scheduling.
+//!
+//! # The nested-parallelism budget rule
+//!
+//! A job that can itself go parallel (an `ArraySim` running sharded) must
+//! size its internal worker count from [`shard_budget`], never from the
+//! machine's core count or `MIMD_THREADS` directly. The budget divides
+//! the machine's cores by the number of pool workers currently active, so
+//! `jobs × shards` never oversubscribes the machine: 8 grid cells on an
+//! 8-core box each get a budget of 1 (stay serial), while a single
+//! engine-scaling job gets the whole machine.
 //!
 //! Panic isolation: each job runs under `catch_unwind`, so one panicking
 //! grid cell cannot tear down a sweep that has hours of sibling work in
@@ -30,6 +40,29 @@ pub fn configured_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Worker threads currently claimed by in-flight [`parallel_map`] calls
+/// (0 when none is running). Bookkeeping only — never used to order or
+/// gate simulation work, so it cannot affect results.
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread budget available to one pool job for *nested* parallelism
+/// (e.g. `ArraySim::set_parallelism`): the machine's cores divided by the
+/// pool workers currently active, never below 1.
+///
+/// Called outside any `parallel_map`, this is the machine's available
+/// parallelism. Called from inside a job, it shrinks so that every
+/// concurrently-running job can use its budget without the combined
+/// thread count exceeding the machine. Deliberately based on available
+/// cores, not `MIMD_THREADS`: the env var sizes the *pool*, while the
+/// budget guards the *machine*.
+pub fn shard_budget() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let active = ACTIVE_WORKERS.load(Ordering::Relaxed).max(1);
+    (avail / active).max(1)
 }
 
 /// The panic payload of one failed job, rendered for the aggregate error.
@@ -120,6 +153,7 @@ where
     let cursor = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
     let mut failures: Vec<(usize, String)> = Vec::new();
+    ACTIVE_WORKERS.fetch_add(threads, Ordering::Relaxed);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -151,6 +185,7 @@ where
             failures.extend(broken);
         }
     });
+    ACTIVE_WORKERS.fetch_sub(threads, Ordering::Relaxed);
     failures.sort_by_key(|(i, _)| *i);
     raise_job_panics(failures);
     indexed.sort_by_key(|(i, _)| *i);
@@ -211,6 +246,27 @@ mod tests {
                 "n = {n}"
             );
         }
+    }
+
+    #[test]
+    fn shard_budget_divides_cores_among_active_workers() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(shard_budget(), avail, "idle budget is the whole machine");
+        // Inside a 2-worker map every job sees a budget that two
+        // concurrent jobs can spend without oversubscribing; results still
+        // arrive exactly once, in order.
+        let jobs: Vec<u64> = (0..64).collect();
+        let got = parallel_map_with(2, jobs, |&x| (x * 2, shard_budget()));
+        for (i, &(r, b)) in got.iter().enumerate() {
+            assert_eq!(r, 2 * i as u64, "claims cover every job exactly once");
+            assert!(
+                b >= 1 && b <= (avail / 2).max(1),
+                "budget {b} with 2 workers on {avail} cores"
+            );
+        }
+        assert_eq!(shard_budget(), avail, "budget restored after the map");
     }
 
     #[test]

@@ -46,8 +46,7 @@ where
 {
     for case in 0..cases {
         let seed = case_seed(case);
-        // simlint: allow(rng-provenance) — per-case property-test seeds: this harness drives tests, never the engine, and cases must replay from the seed alone
-        let mut rng = SimRng::seed_from(seed);
+        let mut rng = SimRng::named(seed, "check-case");
         let outcome = catch_unwind(AssertUnwindSafe(|| prop(case, &mut rng)));
         if let Err(payload) = outcome {
             let msg = payload

@@ -70,6 +70,29 @@ impl DetWitness {
         }
     }
 
+    /// Whether nothing has been folded yet (the state is still the
+    /// FNV-1a offset basis).
+    pub fn is_empty(&self) -> bool {
+        self.state == FNV_OFFSET
+    }
+
+    /// Folds another witness's digest into this one as one labelled
+    /// sub-stream, for the sharded engine's canonical combination.
+    ///
+    /// Each shard folds its own pops locally; the conductor then absorbs
+    /// the per-shard digests **in shard order** under each shard's stable
+    /// `entity` index. An *empty* sub-stream is skipped entirely, so a run
+    /// that popped no events at all still reports the offset basis — the
+    /// same value a never-touched witness has — and shards that stayed
+    /// idle do not perturb the combination.
+    pub fn absorb(&mut self, entity: u32, sub: &DetWitness) {
+        if sub.is_empty() {
+            return;
+        }
+        self.fold_bytes(&entity.to_le_bytes());
+        self.fold_bytes(&sub.state.to_le_bytes());
+    }
+
     /// The current digest value.
     pub fn value(&self) -> u64 {
         self.state

@@ -137,23 +137,29 @@ const PANICKY: [(&str, &str); 6] = [
 
 /// Threading and synchronization constructs banned below the harness.
 ///
-/// The simulator's determinism story is "one single-threaded simulator
-/// per experiment cell, fanned out only by `mimd-harness`" — any thread,
-/// lock, channel, or atomic underneath it either breaks reproducibility
-/// or silently depends on it being unused. `Arc` is deliberately absent:
-/// sharing immutable data is order-free.
+/// The simulator's determinism story is "independent shard engines,
+/// joined only at the conductor's deterministic merge, fanned out by
+/// `mimd_harness::parallel_map` across cells" — any *other* thread, lock,
+/// channel, or atomic underneath it either breaks reproducibility or
+/// silently depends on it being unused. The engine's one sanctioned
+/// thread seam (`ArraySim`'s structured shard run) carries an explicit
+/// waiver; new seams must justify themselves the same way. `Arc` is
+/// deliberately absent: sharing immutable data is order-free.
 const PARALLELISM: [(&str, &str); 8] = [
     (
         "std::thread",
-        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+        "threads below the harness are banned outside the engine's waived conductor seam; \
+         fan out via `mimd_harness::parallel_map` or merge like the sharded engine",
     ),
     (
         "thread::spawn",
-        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+        "threads below the harness are banned outside the engine's waived conductor seam; \
+         fan out via `mimd_harness::parallel_map` or merge like the sharded engine",
     ),
     (
         "thread::scope",
-        "simulation crates are single-threaded; fan out via `mimd_harness::parallel_map`",
+        "threads below the harness are banned outside the engine's waived conductor seam; \
+         fan out via `mimd_harness::parallel_map` or merge like the sharded engine",
     ),
     (
         "Mutex",
