@@ -1,0 +1,96 @@
+//! Whole-engine events/sec ceiling: the figure every grid sweep
+//! multiplies.
+//!
+//! `engine_depth` (in `hot_paths`) times 1000 *requests*; this bench pins
+//! the complementary figure of merit — nanoseconds per popped *event*
+//! (`ArraySim::last_run_events`) and its reciprocal, events per second —
+//! across the shapes the paper's experiments lean on: a narrow 3-way
+//! rotationally-replicated array at shallow and deep queues (scheduling
+//! bound) and an 8-disk RAID-10 (dispatch/fan-out bound).
+//!
+//! Records go to the bench JSON as `engine_events/<shape>/<depth>` with
+//! `ns_per_iter` = ns/event so `bench_check` can gate them like any other
+//! bench; the document also carries a top-level `events_per_sec` summary
+//! for the CI artifact.
+//!
+//! Environment knobs match `hot_paths`: `MIMD_BENCH_QUICK=1` shrinks the
+//! workload, `MIMD_BENCH_JSON=<stem>` writes the JSON records.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mimd_core::{ArraySim, EngineConfig, Shape};
+use mimd_harness::Json;
+use mimd_workload::IometerSpec;
+
+fn quick() -> bool {
+    std::env::var("MIMD_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+fn main() {
+    let (passes, requests) = if quick() { (2, 2_000) } else { (3, 10_000) };
+    let data = 16_000_000u64;
+    let spec = IometerSpec::microbench(data, 1.0);
+    let cells: &[(&str, Shape, usize)] = &[
+        ("sr1x3/q16", Shape::sr_array(1, 3).expect("valid shape"), 16),
+        (
+            "sr1x3/q256",
+            Shape::sr_array(1, 3).expect("valid shape"),
+            256,
+        ),
+        ("raid10_8/q64", Shape::raid10(8).expect("valid shape"), 64),
+    ];
+
+    let mut records: Vec<Json> = Vec::new();
+    let mut summary: Vec<(String, Json)> = Vec::new();
+    println!("engine_events: {requests} requests/cell, best of {passes}");
+    for (label, shape, depth) in cells {
+        let mut best_wall_ns = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..passes {
+            let mut sim = ArraySim::new(
+                EngineConfig::new(*shape).with_perfect_knowledge(),
+                data,
+            )
+            .expect("workload fits the shape");
+            let start = Instant::now();
+            let report = black_box(sim.run_closed_loop(black_box(&spec), *depth, requests));
+            let wall = start.elapsed().as_nanos() as f64;
+            assert!(report.completed >= requests);
+            events = sim.last_run_events();
+            if wall < best_wall_ns {
+                best_wall_ns = wall;
+            }
+        }
+        assert!(events > 0);
+        let ns_per_event = best_wall_ns / events as f64;
+        let events_per_sec = 1e9 / ns_per_event;
+        println!(
+            "{label:<14} {ns_per_event:>8.1} ns/event {events_per_sec:>12.0} events/s \
+             ({events} events)"
+        );
+        records.push(Json::object([
+            (
+                "name",
+                Json::from(format!("engine_events/{label}").as_str()),
+            ),
+            ("ns_per_iter", Json::from(ns_per_event)),
+        ]));
+        summary.push((format!("engine_events/{label}"), Json::from(events_per_sec)));
+    }
+
+    if let Ok(stem) = std::env::var("MIMD_BENCH_JSON") {
+        if !stem.is_empty() {
+            let doc = Json::object([
+                ("suite", Json::from("engine_events")),
+                ("quick", Json::from(quick())),
+                ("events_per_sec", Json::Obj(summary)),
+                ("benches", Json::Arr(records)),
+            ]);
+            match mimd_harness::write_json(&stem, &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write bench JSON: {e}"),
+            }
+        }
+    }
+}

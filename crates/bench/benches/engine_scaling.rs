@@ -47,6 +47,12 @@ fn main() {
     let mut witness_at_1: Option<u64> = None;
     println!("engine_scaling: 256-disk array, {n_requests} requests, {cores} core(s) available");
     for &workers in worker_counts {
+        // With fewer cores than workers the wall clock measures the host's
+        // oversubscription, not the engine: run the passes for the witness
+        // assertion but keep the timings out of the JSON so the ±25%
+        // regression gate never sees them (missing names are reported, not
+        // failed). Witness identity is asserted unconditionally.
+        let timed = workers <= cores;
         let mut best_wall_ns = f64::INFINITY;
         let mut events = 0u64;
         let mut completed = 0u64;
@@ -70,6 +76,13 @@ fn main() {
             }
         }
         assert!(events > 0 && completed > 0);
+        if !timed {
+            println!(
+                "shards={workers:<2} untimed ({cores} core(s) < {workers} workers); \
+                 witness identity asserted"
+            );
+            continue;
+        }
         let ns_per_event = best_wall_ns / events as f64;
         let ns_per_request = best_wall_ns / completed as f64;
         let events_per_sec = 1e9 / ns_per_event;

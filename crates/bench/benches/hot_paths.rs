@@ -246,9 +246,9 @@ fn bench_drive_queue_pick() {
     for depth in [4usize, 16, 64, 256] {
         let entries = make_queue(depth, 3, &mut rng);
         for policy in [Policy::Satf, Policy::Rsatf, Policy::Rlook] {
-            let mut dq: DriveQueue<Entry> = DriveQueue::new(policy, 3_000);
+            let mut dq: DriveQueue<Entry> = DriveQueue::new(policy);
             for e in &entries {
-                dq.insert(e.clone());
+                dq.insert(&disk, e.clone());
             }
             let mut look = LookState::default();
             bench(&format!("drive_queue_pick/{policy}/{depth}"), || {
@@ -277,9 +277,9 @@ fn bench_drive_queue_churn() {
     .expect("valid params");
     for depth in [4usize, 16, 64, 256] {
         let mut rng = SimRng::seed_from(11);
-        let mut dq: DriveQueue<Entry> = DriveQueue::new(Policy::Rsatf, 3_000);
+        let mut dq: DriveQueue<Entry> = DriveQueue::new(Policy::Rsatf);
         for e in make_queue(depth, 3, &mut rng) {
-            dq.insert(e);
+            dq.insert(&disk, e);
         }
         let mut look = LookState::default();
         let mut now = SimTime::ZERO;
@@ -300,7 +300,7 @@ fn bench_drive_queue_churn() {
                 t.angle = rng.unit();
             }
             e.at = now;
-            dq.insert(e)
+            dq.insert(&disk, e)
         });
     }
 }

@@ -5,6 +5,7 @@
 //! Group `g` of a `Ds × Dr × Dm` array owns exactly the `Dm` disks
 //! `[g·Dm, (g+1)·Dm)`, and every physical operation a fragment can ever
 //! cause — replica dispatch, mirror duplication, retry, redirect, delayed
+
 //! propagation, hot-spare rebuild traffic — stays on those disks (see
 //! [`crate::layout::Layout::group_of`]). A shard therefore carries its own
 //! disks, drive queues, calendar wheel, fault context, and named RNG
@@ -352,6 +353,63 @@ pub(crate) struct Shard {
     task_pool: Vec<PendingTask>,
     write_scratch: Vec<Target>,
     group_scratch: Vec<Replica>,
+    /// Reused lanes for the idle-owner batched positioning probe.
+    probe: ProbeScratch,
+}
+
+/// Input/output lanes for costing one mirror group's replicas against one
+/// disk with [`SimDisk::sched_cost_batch`] (the mirrored/spared pick site
+/// of `dispatch_groups`).
+#[derive(Debug, Default)]
+struct ProbeScratch {
+    dist: Vec<u32>,
+    surface: Vec<u32>,
+    write: Vec<u8>,
+    phase: Vec<f64>,
+    pos: Vec<u64>,
+    rot: Vec<u64>,
+}
+
+impl ProbeScratch {
+    /// Minimum positioning cost over `g`'s replica targets on `disk`, via
+    /// one batched kernel call. Per replica this equals
+    /// `disk.estimate(now, &r.target, write).positioning().as_nanos()`
+    /// exactly, provided the drive has no read-ahead buffer (the caller
+    /// checks).
+    fn min_positioning_ns(
+        &mut self,
+        disk: &SimDisk,
+        now: SimTime,
+        write: bool,
+        g: &[Replica],
+    ) -> u64 {
+        let n = g.len();
+        let arm = disk.arm_cylinder();
+        self.dist.clear();
+        self.surface.clear();
+        self.phase.clear();
+        for r in g {
+            self.dist.push(arm.abs_diff(r.target.cylinder));
+            self.surface.push(r.target.surface);
+            self.phase.push(disk.sched_phase(&r.target));
+        }
+        self.write.clear();
+        self.write.resize(n, u8::from(write));
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.rot.clear();
+        self.rot.resize(n, 0);
+        disk.sched_cost_batch(
+            now,
+            &self.dist,
+            &self.surface,
+            &self.write,
+            &self.phase,
+            &mut self.pos,
+            &mut self.rot,
+        );
+        self.pos.iter().copied().min().unwrap_or(u64::MAX)
+    }
 }
 
 impl Shard {
@@ -374,7 +432,6 @@ impl Shard {
         let dm = shape.dm.max(1) as usize;
         let dr = shape.dr.max(1) as usize;
         let base = group * dm;
-        let cylinders = geometry.total_cylinders();
         let mut disks = Vec::with_capacity(dm);
         for m in 0..dm {
             let d_global = (base + m) as u64;
@@ -413,12 +470,8 @@ impl Shard {
             coalesce: cfg.coalesce_delayed,
             slack: cfg.slack,
             disks,
-            fg: (0..dm)
-                .map(|_| DriveQueue::new(policy, cylinders))
-                .collect(),
-            delayed: (0..dm)
-                .map(|_| DriveQueue::new(policy, cylinders))
-                .collect(),
+            fg: (0..dm).map(|_| DriveQueue::new(policy)).collect(),
+            delayed: (0..dm).map(|_| DriveQueue::new(policy)).collect(),
             dup_tags: vec![Vec::new(); dm],
             delayed_keys: vec![BTreeMap::new(); dm],
             look: vec![LookState::default(); dm],
@@ -440,6 +493,7 @@ impl Shard {
             task_pool: Vec::new(),
             write_scratch: Vec::new(),
             group_scratch: Vec::new(),
+            probe: ProbeScratch::default(),
         }
     }
 
@@ -723,27 +777,35 @@ impl Shard {
             return;
         }
 
-        // Idle owners first: send to the idle head closest to a copy.
+        // Idle owners first: send to the idle head closest to a copy. One
+        // batched kernel call costs a whole group's replicas; strict `<`
+        // keeps the scalar `min_by_key`'s first-minimal tie rule.
         let base = self.base;
-        let idle = groups
-            .chunks_exact(dr)
-            .filter(|g| {
-                let l = g[0].disk - base;
-                self.inflight[l].is_none() && self.fg[l].is_empty()
-            })
-            .min_by_key(|g| {
-                let l = g[0].disk - base;
+        let mut idle: Option<(&[Replica], u64)> = None;
+        for g in groups.chunks_exact(dr) {
+            let l = g[0].disk - base;
+            if self.inflight[l].is_some() || !self.fg[l].is_empty() {
+                continue;
+            }
+            let disk = &self.disks[l];
+            let key = if disk.read_ahead_enabled() {
+                // A buffered hit short-circuits positioning; stay scalar.
                 g.iter()
                     .map(|r| {
-                        self.disks[l]
-                            .estimate(now, &r.target, write)
+                        disk.estimate(now, &r.target, write)
                             .positioning()
                             .as_nanos()
                     })
                     .min()
                     .unwrap_or(u64::MAX)
-            });
-        if let Some(replicas) = idle {
+            } else {
+                self.probe.min_positioning_ns(disk, now, write, g)
+            };
+            if idle.is_none_or(|(_, k)| key < k) {
+                idle = Some((g, key));
+            }
+        }
+        if let Some((replicas, _)) = idle {
             let disk = replicas[0].disk;
             let task = self.make_task(job, frag, write, kind, replicas, now);
             self.enqueue(disk, task);
@@ -780,7 +842,7 @@ impl Shard {
             }
         }
         let dup = task.dup;
-        let id = self.fg[l].insert(task);
+        let id = self.fg[l].insert(&self.disks[l], task);
         if let Some(g) = dup {
             self.dup_tags[l].push((g, id));
         }
@@ -808,7 +870,7 @@ impl Shard {
                 // propagation (§3.4 "data that die young").
                 let target = replica.target;
                 let meta = (replica.replica, replica.mirror);
-                let live = self.delayed[l].replace_with(id, |t| {
+                let live = self.delayed[l].replace_with(&self.disks[l], id, |t| {
                     t.targets.clear();
                     t.targets.push(target);
                     t.meta.clear();
@@ -835,7 +897,7 @@ impl Shard {
         t.key = key;
         t.attempt = 0;
         t.track = 0;
-        let id = self.delayed[l].insert(t);
+        let id = self.delayed[l].insert(&self.disks[l], t);
         if self.coalesce {
             self.delayed_keys[l].insert(key, id);
         }
@@ -870,9 +932,9 @@ impl Shard {
         let force_delayed = nv.count >= nv.threshold;
         let use_delayed = (self.fg[l].is_empty() || force_delayed) && !self.delayed[l].is_empty();
         let queue = if use_delayed {
-            &self.delayed[l]
+            &mut self.delayed[l]
         } else {
-            &self.fg[l]
+            &mut self.fg[l]
         };
         let Some((id, candidate)) = queue.pick(
             &self.disks[l],
@@ -901,8 +963,8 @@ impl Shard {
         // Service the chosen target (plus follow-on replicas for a
         // foreground multi-replica write).
         let chosen = &task.targets[candidate];
-        let predicted = self.disks[l].estimate(now, chosen, task.write).total();
-        let first = self.disks[l].begin(now, chosen, task.write);
+        let (predicted, first) = self.disks[l].begin_with_estimate(now, chosen, task.write);
+        let predicted = predicted.total();
         let mut end = now + first.total();
 
         // Table-2 accounting: predicted vs realised access time.
@@ -1360,7 +1422,8 @@ impl Shard {
         t.key = (u64::MAX, 0, 0);
         t.attempt = 0;
         t.track = 0;
-        self.delayed[source - self.base].insert(t);
+        let src_l = source - self.base;
+        self.delayed[src_l].insert(&self.disks[src_l], t);
         if let Some(ctx) = self.faults.as_mut() {
             if let Some(r) = ctx.rebuild.as_mut() {
                 r.source = source;

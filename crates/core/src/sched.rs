@@ -269,25 +269,6 @@ pub(crate) fn candidate_cost(
     cost
 }
 
-/// [`candidate_cost`] with the effective target phase supplied by the
-/// caller (from [`SimDisk::sched_phase`], which is time-independent and so
-/// cacheable per queued candidate). Agrees exactly with `candidate_cost`.
-pub(crate) fn candidate_cost_at_phase(
-    disk: &SimDisk,
-    now: SimTime,
-    target: &Target,
-    write: bool,
-    slack: SimDuration,
-    phase: f64,
-) -> u64 {
-    let (positioning_ns, rotation_ns) = disk.sched_cost_at_phase_ns(now, target, write, phase);
-    let mut cost = positioning_ns;
-    if rotation_ns < slack.as_nanos() {
-        cost += disk.rotation_ns();
-    }
-    cost
-}
-
 /// Picks the cheapest replica of one entry (or the primary when the policy
 /// is not replica-aware). First-minimal tie-break, with the same
 /// seek-lower-bound pruning as the SATF scan.
