@@ -48,11 +48,8 @@ fn main() {
         let mut best_wall_ns = f64::INFINITY;
         let mut events = 0u64;
         for _ in 0..passes {
-            let mut sim = ArraySim::new(
-                EngineConfig::new(*shape).with_perfect_knowledge(),
-                data,
-            )
-            .expect("workload fits the shape");
+            let mut sim = ArraySim::new(EngineConfig::new(*shape).with_perfect_knowledge(), data)
+                .expect("workload fits the shape");
             let start = Instant::now();
             let report = black_box(sim.run_closed_loop(black_box(&spec), *depth, requests));
             let wall = start.elapsed().as_nanos() as f64;

@@ -57,7 +57,7 @@ use mimd_workload::{IometerSpec, Op, RequestSource, Trace};
 use crate::config::Shape;
 use crate::faults::FaultPlan;
 use crate::layout::{
-    Fragment, Layout, LayoutError, Replica, ReplicaPlacement, DEFAULT_STRIPE_UNIT,
+    Fragment, Layout, LayoutError, ParityConfig, Replica, ReplicaPlacement, DEFAULT_STRIPE_UNIT,
 };
 use crate::sched::Policy;
 
@@ -139,6 +139,10 @@ pub struct EngineConfig {
     /// layer entirely: no extra RNG streams, no extra events, byte-identical
     /// reports (value-neutrality).
     pub faults: FaultPlan,
+    /// XOR-parity organization (RAID 4/5) over the striped space. `None`
+    /// (the default) leaves every replica/mirror path exactly as before —
+    /// the same value-neutrality contract as `faults`.
+    pub parity: Option<ParityConfig>,
 }
 
 impl EngineConfig {
@@ -170,6 +174,7 @@ impl EngineConfig {
             read_ahead: false,
             seed: 42,
             faults: FaultPlan::default(),
+            parity: None,
         }
     }
 
@@ -208,6 +213,12 @@ impl EngineConfig {
     /// Installs a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Overlays an XOR-parity organization (RAID 4/5) on the array.
+    pub fn with_parity(mut self, parity: ParityConfig) -> Self {
+        self.parity = Some(parity);
         self
     }
 }
@@ -438,8 +449,10 @@ pub struct ArraySim {
     closed_loop: Option<ClosedLoop>,
     last_completion: SimTime,
     pending_failures: Vec<(SimTime, usize)>,
-    /// Reusable fragment buffer for request planning.
-    frag_scratch: Vec<Fragment>,
+    /// Reusable fragment buffer for request planning. The flag marks a
+    /// parity full-stripe write; it is always `false` without a parity
+    /// organization.
+    frag_scratch: Vec<(Fragment, bool)>,
     /// The conductor's witness sub-stream: arrivals (kind 0) and
     /// conductor completions (kind 2). Shard sub-streams are absorbed
     /// after it, in shard order, by `finish_report`.
@@ -459,7 +472,7 @@ impl ArraySim {
     /// Builds an array for `data_sectors` of logical data.
     pub fn new(cfg: EngineConfig, data_sectors: u64) -> Result<Self, LayoutError> {
         let geometry = Geometry::new(&cfg.disk_params);
-        let layout = Layout::new(
+        let mut layout = Layout::new(
             cfg.shape,
             &geometry,
             data_sectors,
@@ -467,6 +480,12 @@ impl ArraySim {
             cfg.mirror_stagger,
         )?
         .with_placement(cfg.replica_placement);
+        if let Some(p) = cfg.parity {
+            layout = layout.with_parity(p)?;
+        }
+        cfg.faults
+            .validate(layout.disks())
+            .map_err(LayoutError::InvalidFaultPlan)?;
         let n = layout.disks();
         // Calibrate the drive model once — the seek fit is a numeric
         // bisection costing ~1 ms — and stamp out per-disk copies. The
@@ -588,9 +607,9 @@ impl ArraySim {
 
     /// Whether a disk has failed.
     pub fn disk_is_dead(&self, disk: usize) -> bool {
-        let dm = self.layout.shape().dm.max(1) as usize;
+        let w = self.layout.disks_per_group().max(1);
         self.shards
-            .get(disk / dm)
+            .get(disk / w)
             .is_some_and(|s| s.dead.get(disk).copied().unwrap_or(false))
     }
 
@@ -627,9 +646,9 @@ impl ArraySim {
 
     /// Arms scheduled failures and the shards' fault plans (idempotent).
     fn arm_failures(&mut self) {
-        let dm = self.layout.shape().dm.max(1) as usize;
+        let w = self.layout.disks_per_group().max(1);
         for (at, disk) in std::mem::take(&mut self.pending_failures) {
-            self.shards[disk / dm].schedule_failure(at, disk);
+            self.shards[disk / w].schedule_failure(at, disk);
         }
         for s in &mut self.shards {
             s.arm();
@@ -705,8 +724,10 @@ impl ArraySim {
             }
             let id = self.next_logical;
             self.next_logical += 1;
+            let write = r.op.is_write();
             frags.clear();
-            self.layout.fragments_into(r.lbn, r.sectors, &mut frags);
+            self.layout
+                .plan_request(write, r.lbn, r.sectors, &mut frags);
             self.logicals.insert(
                 id,
                 Logical {
@@ -718,15 +739,15 @@ impl ArraySim {
                     failed: false,
                 },
             );
-            let write = r.op.is_write();
             let fg_write = write && self.cfg.write_mode == WriteMode::Foreground;
-            for &frag in &frags {
+            for &(frag, stripe) in &frags {
                 subs[self.layout.group_of(frag)].push(Submission {
                     at: r.arrival,
                     logical: id,
                     frag,
                     write,
                     fg_write,
+                    stripe,
                 });
             }
         }
@@ -1014,9 +1035,10 @@ impl ArraySim {
             }
         }
 
+        let write = op.is_write();
         let mut frags = std::mem::take(&mut self.frag_scratch);
         frags.clear();
-        self.layout.fragments_into(lbn, sectors, &mut frags);
+        self.layout.plan_request(write, lbn, sectors, &mut frags);
         self.logicals.insert(
             id,
             Logical {
@@ -1033,11 +1055,10 @@ impl ArraySim {
             // the conductor queue rather than recursing.
             self.events.push(now, CondEvent::CacheDone(id));
         } else {
-            let write = op.is_write();
             let fg_write = write && self.cfg.write_mode == WriteMode::Foreground;
-            for &frag in &frags {
+            for &(frag, stripe) in &frags {
                 let g = self.layout.group_of(frag);
-                self.shards[g].submit_frag(&self.layout, now, id, frag, write, fg_write);
+                self.shards[g].submit_frag(&self.layout, now, id, frag, write, fg_write, stripe);
                 self.shards[g].kick(now, &mut self.shared_nvram);
             }
         }

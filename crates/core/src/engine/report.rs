@@ -67,6 +67,16 @@ pub struct FaultReport {
     pub rebuilds_completed: u64,
     /// Wall-clock (simulated) duration of the last completed rebuild.
     pub rebuild_duration: SimDuration,
+    /// Parity organizations: reads served by reconstructing the lost
+    /// block from the group's `G−1` survivors.
+    pub degraded_reads: u64,
+    /// Parity organizations: small-write read–modify–write sequences
+    /// issued against a fully healthy group.
+    pub rmw_updates: u64,
+    /// Parity organizations: rebuild chunks reconstructed onto the hot
+    /// spare by XOR-ing all survivors (the parity twin of
+    /// `rebuild_chunks`).
+    pub reconstruction_chunks: u64,
     /// Visible response times (ms) completed while the array was healthy.
     pub healthy_ms: SampleSet,
     /// Visible response times (ms) completed while degraded (a disk dead
@@ -94,6 +104,9 @@ impl FaultReport {
         if other.rebuild_duration > self.rebuild_duration {
             self.rebuild_duration = other.rebuild_duration;
         }
+        self.degraded_reads += other.degraded_reads;
+        self.rmw_updates += other.rmw_updates;
+        self.reconstruction_chunks += other.reconstruction_chunks;
     }
 }
 
@@ -189,6 +202,12 @@ impl RunReport {
         self.rotation_ms.merge(&other.rotation_ms);
         self.transfer_ms.merge(&other.transfer_ms);
         self.queue_wait_ms.merge(&other.queue_wait_ms);
+        // Parity counters accumulate on the shard's own report (no
+        // FaultCtx needed for a healthy parity run), so they fold here
+        // rather than in `merge_counters`.
+        self.faults.degraded_reads += other.faults.degraded_reads;
+        self.faults.rmw_updates += other.faults.rmw_updates;
+        self.faults.reconstruction_chunks += other.faults.reconstruction_chunks;
     }
 }
 

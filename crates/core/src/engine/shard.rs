@@ -26,10 +26,14 @@
 //! merge* — a value that cannot depend on how many OS threads executed
 //! the shards.
 
+mod parity;
+
 use std::collections::BTreeMap;
 
 use mimd_disk::{SimDisk, Target};
+
 use mimd_sim::{DetWitness, EventQueue, SimDuration, SimRng, SimTime};
+use parity::ParityOp;
 
 use crate::dqueue::{DriveQueue, TaskId};
 use crate::faults::{FaultCtx, RebuildState};
@@ -52,6 +56,13 @@ pub(crate) enum TaskKind {
     /// delayed queue so foreground work wins the disk, and stays out of
     /// the foreground latency accounting.
     Rebuild,
+    /// One read leg of a parity operation (RAID 4/5): a plain data read,
+    /// a degraded-read reconstruction leg, or the old-value read of an
+    /// RMW. `task.job` holds the owning [`ParityOp`] id.
+    ParityRead,
+    /// One write leg of a parity operation: RMW data/parity update or a
+    /// full-stripe member write. `task.job` holds the [`ParityOp`] id.
+    ParityWrite,
 }
 
 #[derive(Debug, Clone)]
@@ -217,6 +228,10 @@ pub(crate) struct Submission {
     pub(crate) write: bool,
     /// Foreground write mode: every replica group gets its own gating task.
     pub(crate) fg_write: bool,
+    /// Parity organizations only: this fragment covers a group's full
+    /// stripe row of new data, so parity is computed without old-value
+    /// reads. Always `false` without a parity layout.
+    pub(crate) stripe: bool,
 }
 
 /// The NVRAM delayed-write table budget a shard runs against.
@@ -306,9 +321,12 @@ pub(crate) type PopRecord = (u64, u64, u32, u8);
 #[derive(Debug)]
 pub(crate) struct Shard {
     /// First global disk index owned by this shard; the shard owns
-    /// `[base, base + dm)` and local vectors are indexed by `disk - base`.
+    /// `[base, base + width)` and local vectors are indexed by
+    /// `disk - base`.
     pub(crate) base: usize,
-    dm: usize,
+    /// Disks this shard owns: `Dm` for mirrored shapes, the parity group
+    /// size `G` for RAID 4/5 (the two organizations never combine).
+    width: usize,
     dr: usize,
     stripe_unit: u32,
     /// `Ds × Dr` (static mirror-policy stride).
@@ -334,6 +352,10 @@ pub(crate) struct Shard {
     next_job: u64,
     dup_started: DupSet,
     next_dup: u64,
+    /// Live parity operations (RAID 4/5 reads, RMWs, stripe writes),
+    /// keyed by operation id; parity task `job` fields hold this id.
+    parity_ops: BTreeMap<u64, ParityOp>,
+    next_parity_op: u64,
     /// Per-shard fault context (own named RNG stream, own rebuild state);
     /// `None` for an empty plan.
     pub(crate) faults: Option<Box<FaultCtx>>,
@@ -429,11 +451,11 @@ impl Shard {
         horizon_ns: u64,
     ) -> Shard {
         let shape = lay.shape();
-        let dm = shape.dm.max(1) as usize;
+        let width = lay.disks_per_group().max(1);
         let dr = shape.dr.max(1) as usize;
-        let base = group * dm;
-        let mut disks = Vec::with_capacity(dm);
-        for m in 0..dm {
+        let base = group * width;
+        let mut disks = Vec::with_capacity(width);
+        for m in 0..width {
             let d_global = (base + m) as u64;
             let mut d = SimDisk::with_parts(
                 &cfg.disk_params,
@@ -454,7 +476,7 @@ impl Shard {
         } else {
             let ctx = FaultCtx::new(&cfg.faults, cfg.seed, ndisks, group as u64);
             for w in &ctx.plan.fail_slow {
-                if w.disk >= base && w.disk < base + dm {
+                if w.disk >= base && w.disk < base + width {
                     disks[w.disk - base].add_fail_slow(w.from, w.until, w.factor);
                 }
             }
@@ -462,7 +484,7 @@ impl Shard {
         };
         Shard {
             base,
-            dm,
+            width,
             dr,
             stripe_unit: cfg.stripe_unit,
             ds_x_dr: shape.ds as u64 * shape.dr as u64,
@@ -470,18 +492,20 @@ impl Shard {
             coalesce: cfg.coalesce_delayed,
             slack: cfg.slack,
             disks,
-            fg: (0..dm).map(|_| DriveQueue::new(policy)).collect(),
-            delayed: (0..dm).map(|_| DriveQueue::new(policy)).collect(),
-            dup_tags: vec![Vec::new(); dm],
-            delayed_keys: vec![BTreeMap::new(); dm],
-            look: vec![LookState::default(); dm],
-            inflight: (0..dm).map(|_| None).collect(),
+            fg: (0..width).map(|_| DriveQueue::new(policy)).collect(),
+            delayed: (0..width).map(|_| DriveQueue::new(policy)).collect(),
+            dup_tags: vec![Vec::new(); width],
+            delayed_keys: vec![BTreeMap::new(); width],
+            look: vec![LookState::default(); width],
+            inflight: (0..width).map(|_| None).collect(),
             dead: vec![false; ndisks],
             events: EventQueue::with_horizon_ns(horizon_ns),
             jobs: JobRing::default(),
             next_job: 0,
             dup_started: DupSet::default(),
             next_dup: 0,
+            parity_ops: BTreeMap::new(),
+            next_parity_op: 0,
             faults,
             report: RunReport::default(),
             notes: Vec::new(),
@@ -504,7 +528,7 @@ impl Shard {
 
     /// Arms the fault plan's events for this shard's disks (idempotent).
     pub(crate) fn arm(&mut self) {
-        let (base, dm) = (self.base, self.dm);
+        let (base, width) = (self.base, self.width);
         let Some(ctx) = self.faults.as_mut() else {
             return;
         };
@@ -513,12 +537,12 @@ impl Shard {
         }
         ctx.armed = true;
         for f in &ctx.plan.fail_stop {
-            if f.disk >= base && f.disk < base + dm {
+            if f.disk >= base && f.disk < base + width {
                 self.events.push(f.at, ColEvent::DiskFail(f.disk));
             }
         }
         for w in &ctx.plan.fail_slow {
-            if w.disk >= base && w.disk < base + dm {
+            if w.disk >= base && w.disk < base + width {
                 self.events.push(w.from, ColEvent::SlowStart(w.disk));
                 self.events.push(w.until, ColEvent::SlowEnd(w.disk));
             }
@@ -575,7 +599,7 @@ impl Shard {
                 let logical = subs[i].logical;
                 while i < subs.len() && subs[i].at == st && subs[i].logical == logical {
                     let s = subs[i];
-                    self.submit_frag(lay, s.at, s.logical, s.frag, s.write, s.fg_write);
+                    self.submit_frag(lay, s.at, s.logical, s.frag, s.write, s.fg_write, s.stripe);
                     i += 1;
                 }
                 self.kick(st, nv);
@@ -588,7 +612,7 @@ impl Shard {
     /// Drains every pending event (delayed propagation, in-flight rebuild
     /// chunks) to quiescence — the shard half of `drain_background`.
     pub(crate) fn drain(&mut self, lay: &Layout, at: SimTime, nv: &mut Nvram) {
-        for l in 0..self.dm {
+        for l in 0..self.width {
             self.try_dispatch(at, l, nv);
         }
         while self.step(lay, nv) {}
@@ -598,6 +622,7 @@ impl Shard {
     /// one part per replica-group task (foreground writes) or one part
     /// total (reads / background-mode first copies). A fragment with no
     /// surviving copy emits an immediate failed `Part` note.
+    #[allow(clippy::too_many_arguments)] // one flag per routed-submission attribute
     pub(crate) fn submit_frag(
         &mut self,
         lay: &Layout,
@@ -606,7 +631,12 @@ impl Shard {
         frag: Fragment,
         write: bool,
         fg_write: bool,
+        stripe: bool,
     ) {
+        if lay.parity().is_some() {
+            self.submit_parity_frag(lay, now, logical, frag, write, stripe);
+            return;
+        }
         let mut reps = std::mem::take(&mut self.group_scratch);
         reps.clear();
         lay.write_groups_into(frag, &mut reps);
@@ -1026,14 +1056,18 @@ impl Shard {
             return;
         };
         if fly.task.kind == TaskKind::Rebuild {
-            self.on_rebuild_read_done(lay, now, disk, fly.task, nv);
+            if lay.parity().is_some() {
+                self.on_parity_rebuild_read_done(lay, now, disk, fly.task, nv);
+            } else {
+                self.on_rebuild_read_done(lay, now, disk, fly.task, nv);
+            }
             return;
         }
         // Transient media errors surface at completion time, drawn from
         // this shard's fault stream (foreground operations only).
         if let Some(ctx) = self.faults.as_mut() {
             if ctx.plan.media.enabled() && fly.task.kind != TaskKind::Delayed {
-                let rate = if fly.task.kind == TaskKind::Read {
+                let rate = if matches!(fly.task.kind, TaskKind::Read | TaskKind::ParityRead) {
                     ctx.plan.media.read_rate
                 } else {
                     ctx.plan.media.write_rate
@@ -1045,8 +1079,12 @@ impl Shard {
                 }
             }
         }
+        if matches!(fly.task.kind, TaskKind::ParityRead | TaskKind::ParityWrite) {
+            self.on_parity_done(now, disk, fly.task, nv);
+            return;
+        }
         match fly.task.kind {
-            TaskKind::Rebuild => {}
+            TaskKind::Rebuild | TaskKind::ParityRead | TaskKind::ParityWrite => {}
             TaskKind::Delayed => {
                 nv.count = nv.count.saturating_sub(1);
                 self.report.delayed_propagated += 1;
@@ -1199,6 +1237,9 @@ impl Shard {
                     self.enqueue(disk, task);
                 }
             }
+            TaskKind::ParityRead | TaskKind::ParityWrite => {
+                self.on_parity_media_error(now, disk, task)
+            }
             TaskKind::Delayed | TaskKind::Rebuild => self.recycle(task),
         }
         self.try_dispatch(now, disk - self.base, nv);
@@ -1272,6 +1313,7 @@ impl Shard {
         // one for this disk, or re-issue a chunk whose copy source died
         // mid-read.
         let mut reissue = false;
+        let mut abandon = false;
         if let Some(ctx) = self.faults.as_mut() {
             let spared = ctx.plan.fail_stop.iter().any(|f| f.disk == disk && f.spare);
             if spared && ctx.rebuild.is_none() {
@@ -1284,17 +1326,32 @@ impl Shard {
                     source: usize::MAX,
                     copying: false,
                     writing: false,
+                    reads_left: 0,
                 });
                 self.events.push(
                     now + ctx.plan.rebuild.spare_delay,
                     ColEvent::RebuildStart(disk),
                 );
+            } else if lay.parity().is_some() {
+                // A second dead member leaves the survivor XOR short of
+                // the lost data: the rebuild is abandoned and the spare
+                // slot stays dead.
+                if let Some(r) = ctx.rebuild.take() {
+                    abandon = r.copying;
+                }
             } else if let Some(r) = ctx.rebuild.as_mut() {
                 if r.copying && r.source == disk && r.pending > 0 && !r.writing {
                     r.pending = 0;
                     reissue = true;
                 }
             }
+        }
+        if abandon {
+            self.notes.push(Note::Health {
+                at: now,
+                kind: HealthKind::Rebuilding,
+                on: false,
+            });
         }
         if reissue {
             self.rebuild_issue_chunk(lay, now, nv);
@@ -1331,6 +1388,14 @@ impl Shard {
                 groups.clear();
                 self.group_scratch = groups;
             }
+            TaskKind::ParityRead | TaskKind::ParityWrite => {
+                // The whole parity operation replans against the degraded
+                // group; sibling legs still queued elsewhere find the op
+                // gone and no-op on completion.
+                if let Some(op) = self.parity_ops.remove(&task.job) {
+                    self.replan_parity_op(lay, now, op);
+                }
+            }
         }
         self.recycle(task);
     }
@@ -1355,7 +1420,11 @@ impl Shard {
                 kind: HealthKind::Rebuilding,
                 on: true,
             });
-            self.rebuild_issue_chunk(lay, now, nv);
+            if lay.parity().is_some() {
+                self.parity_rebuild_issue_chunk(lay, now, nv);
+            } else {
+                self.rebuild_issue_chunk(lay, now, nv);
+            }
         }
     }
 
@@ -1363,7 +1432,7 @@ impl Shard {
     /// surviving mirror, riding its *delayed* queue so foreground work
     /// keeps winning the disk.
     fn rebuild_issue_chunk(&mut self, lay: &Layout, now: SimTime, nv: &mut Nvram) {
-        let dm = self.dm;
+        let dm = self.width;
         let Some((spare, next, total, chunk)) = self.faults.as_ref().and_then(|ctx| {
             ctx.rebuild
                 .as_ref()
@@ -1446,7 +1515,7 @@ impl Shard {
     ) {
         self.recycle(task);
         let dr = self.dr as u32;
-        let dm = self.dm;
+        let dm = self.width;
         let Some((spare, next, chunk)) = self.faults.as_ref().and_then(|ctx| {
             ctx.rebuild
                 .as_ref()
@@ -1497,14 +1566,19 @@ impl Shard {
     /// The spare finished one chunk: advance the rebuild, and on the last
     /// chunk flip the disk back to live.
     fn on_spare_done(&mut self, lay: &Layout, now: SimTime, disk: usize, nv: &mut Nvram) {
+        let parity = lay.parity().is_some();
         let mut finished = None;
+        let mut chunk_done = false;
         if let Some(ctx) = self.faults.as_mut() {
             if let Some(r) = ctx.rebuild.as_mut() {
                 if r.disk == disk && r.writing {
                     r.next += r.pending;
                     r.pending = 0;
                     r.writing = false;
-                    ctx.report.rebuild_chunks += 1;
+                    chunk_done = true;
+                    if !parity {
+                        ctx.report.rebuild_chunks += 1;
+                    }
                     if r.next >= r.total {
                         finished = Some(r.started);
                     }
@@ -1514,6 +1588,12 @@ impl Shard {
                 ctx.rebuild = None;
                 ctx.report.rebuilds_completed += 1;
             }
+        }
+        if chunk_done && parity {
+            // The parity twin of `rebuild_chunks`: chunks XOR-built from
+            // the survivors rather than copied from a mirror. Accounted on
+            // the shard report, like the other parity counters.
+            self.report.faults.reconstruction_chunks += 1;
         }
         match finished {
             Some(started) => {
@@ -1537,7 +1617,13 @@ impl Shard {
                 lay.check_rebuilt_disk(disk);
                 self.try_dispatch(now, disk - self.base, nv);
             }
-            None => self.rebuild_issue_chunk(lay, now, nv),
+            None => {
+                if parity {
+                    self.parity_rebuild_issue_chunk(lay, now, nv);
+                } else {
+                    self.rebuild_issue_chunk(lay, now, nv);
+                }
+            }
         }
     }
 }

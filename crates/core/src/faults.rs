@@ -272,6 +272,42 @@ impl FaultPlan {
         };
         self
     }
+
+    /// Validates the plan against an array of `disks` disks: every
+    /// targeted disk index must be in range, and no disk may carry two
+    /// scheduled fail-stops (a disk fails at most once per run; the
+    /// second event would fire against an already-dead or rebuilt slot
+    /// whose meaning is undefined). Called by the engine at build time so
+    /// a bad plan is a config error, not a mid-run debug assert.
+    pub fn validate(&self, disks: usize) -> Result<(), String> {
+        for f in &self.fail_stop {
+            if f.disk >= disks {
+                return Err(format!(
+                    "fail-stop targets disk {} but the array has {disks} disks",
+                    f.disk
+                ));
+            }
+        }
+        for w in &self.fail_slow {
+            if w.disk >= disks {
+                return Err(format!(
+                    "fail-slow targets disk {} but the array has {disks} disks",
+                    w.disk
+                ));
+            }
+        }
+        let mut failed: Vec<usize> = self.fail_stop.iter().map(|f| f.disk).collect();
+        failed.sort_unstable();
+        for pair in failed.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(format!(
+                    "disk {} has two scheduled fail-stops; a disk fails at most once per run",
+                    pair[0]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Hot-spare rebuild progress: `failed → rebuilding → restored`.
@@ -294,6 +330,10 @@ pub(crate) struct RebuildState {
     /// Whether the in-flight chunk is past its source read and writing to
     /// the spare (a source failure no longer invalidates it).
     pub(crate) writing: bool,
+    /// Parity rebuild only: survivor chunk reads still outstanding. A
+    /// mirror chunk has one source read; a parity chunk XORs all `G−1`
+    /// survivors, so the spare write waits for this to reach zero.
+    pub(crate) reads_left: u32,
 }
 
 /// Per-run fault state owned by the engine; exists only for non-empty
@@ -411,6 +451,27 @@ mod tests {
         };
         assert_eq!(r.timeout_for(0), SimDuration::from_millis(100));
         assert_eq!(r.timeout_for(3), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_double_fail_stops() {
+        let t = SimTime::from_secs(1);
+        assert!(FaultPlan::new().validate(4).is_ok());
+        assert!(FaultPlan::new().fail_stop(3, t).validate(4).is_ok());
+        assert!(FaultPlan::new().fail_stop(4, t).validate(4).is_err());
+        assert!(FaultPlan::new()
+            .fail_slow(7, SimTime::ZERO, t, 2.0)
+            .validate(4)
+            .is_err());
+        // Two fail-stops on one disk are rejected even at distinct times.
+        let twice = FaultPlan::new()
+            .fail_stop_with_spare(1, t)
+            .fail_stop(1, SimTime::from_secs(9));
+        assert!(twice.validate(4).is_err());
+        let distinct = FaultPlan::new()
+            .fail_stop(0, t)
+            .fail_stop(2, SimTime::from_secs(9));
+        assert!(distinct.validate(4).is_ok());
     }
 
     #[test]

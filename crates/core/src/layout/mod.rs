@@ -10,8 +10,10 @@
 //! (Figure 3).
 
 pub mod mapper;
+pub mod parity;
 
 pub use mapper::{DataMapper, TrackLoc};
+pub use parity::{ParityConfig, ParityLoc, RaidLevel};
 
 use mimd_disk::{Chs, Geometry, Target};
 
@@ -61,6 +63,10 @@ pub enum LayoutError {
     Degenerate,
     /// The drive parameters the layout targets are not realisable.
     InvalidDiskParams(String),
+    /// A parity organization that the shape cannot carry.
+    InvalidParity(String),
+    /// A fault plan inconsistent with the array it targets.
+    InvalidFaultPlan(String),
 }
 
 impl std::fmt::Display for LayoutError {
@@ -79,6 +85,8 @@ impl std::fmt::Display for LayoutError {
             LayoutError::InvalidDiskParams(why) => {
                 write!(f, "invalid disk parameters: {why}")
             }
+            LayoutError::InvalidParity(why) => write!(f, "invalid parity organization: {why}"),
+            LayoutError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -118,6 +126,8 @@ pub struct Layout {
     /// Stagger mirror copies rotationally (the §2.5 "striped mirror").
     mirror_stagger: bool,
     placement: ReplicaPlacement,
+    /// XOR-parity organization over the striped space (RAID 4/5), if any.
+    parity: Option<ParityConfig>,
 }
 
 impl Layout {
@@ -158,6 +168,7 @@ impl Layout {
             geometry: geometry.clone(),
             mirror_stagger,
             placement: ReplicaPlacement::Even,
+            parity: None,
         };
         let needed = layout.per_disk_data_sectors();
         if needed > layout.mapper.capacity() {
@@ -173,6 +184,49 @@ impl Layout {
     pub fn with_placement(mut self, placement: ReplicaPlacement) -> Layout {
         self.placement = placement;
         self
+    }
+
+    /// Overlays an XOR-parity organization (RAID 4/5) on the layout.
+    ///
+    /// Parity composes with plain striping only (`Dr = Dm = 1`): the
+    /// redundancy comes from the parity unit, not from replicas. The
+    /// group width must be at least 3 (one parity plus two data members —
+    /// a 2-wide group is just an expensive mirror) and must divide `Ds`
+    /// so groups tile the array. Capacity is re-checked because each disk
+    /// now carries `1/(G−1)` overhead of parity units.
+    pub fn with_parity(mut self, parity: ParityConfig) -> Result<Layout, LayoutError> {
+        if self.shape.dr != 1 || self.shape.dm != 1 {
+            return Err(LayoutError::InvalidParity(format!(
+                "parity organizations require plain striping (Dr=Dm=1), got Dr={} Dm={}",
+                self.shape.dr, self.shape.dm
+            )));
+        }
+        if parity.group < 3 {
+            return Err(LayoutError::InvalidParity(format!(
+                "parity group must span at least 3 disks, got {}",
+                parity.group
+            )));
+        }
+        if !self.shape.ds.is_multiple_of(parity.group) {
+            return Err(LayoutError::InvalidParity(format!(
+                "Ds={} is not a multiple of the parity group width {}",
+                self.shape.ds, parity.group
+            )));
+        }
+        self.parity = Some(parity);
+        let needed = self.per_disk_data_sectors();
+        if needed > self.mapper.capacity() {
+            return Err(LayoutError::CapacityExceeded {
+                needed,
+                available: self.mapper.capacity(),
+            });
+        }
+        Ok(self)
+    }
+
+    /// The parity organization, if one is configured.
+    pub fn parity(&self) -> Option<ParityConfig> {
+        self.parity
     }
 
     /// The array shape.
@@ -195,11 +249,16 @@ impl Layout {
         self.data_sectors
     }
 
-    /// Unique data sectors each disk holds.
+    /// Unique data sectors each disk holds. With a parity organization
+    /// the denominator is the *data* units per stripe row — `G−1` of the
+    /// `G` members — so per-disk footprint includes the parity overhead.
     pub fn per_disk_data_sectors(&self) -> u64 {
         let u = self.stripe_unit as u64;
         let total_units = self.data_sectors.div_ceil(u);
-        let chunk = self.shape.ds as u64 * self.shape.dr as u64;
+        let chunk = match self.parity {
+            Some(p) => self.groups() as u64 * (p.group as u64 - 1),
+            None => self.shape.ds as u64 * self.shape.dr as u64,
+        };
         total_units.div_ceil(chunk) * u
     }
 
@@ -222,18 +281,36 @@ impl Layout {
         ((column * self.shape.dr + row) * self.shape.dm + mirror) as usize
     }
 
-    /// The number of mirror groups in the array: `Ds × Dr` groups of `Dm`
-    /// disks each. A group is the closure of all replica traffic for the
-    /// units it owns — rotational replicas share a disk and mirror copies
-    /// stay inside the group — which makes it the engine's shard unit.
+    /// The number of groups in the array — the engine's shard unit. A
+    /// group is the closure of all physical traffic for the units it
+    /// owns. Without parity these are the `Ds × Dr` mirror groups of
+    /// `Dm` disks each (rotational replicas share a disk and mirror
+    /// copies stay inside the group); with parity they are the `Ds / G`
+    /// parity groups of `G` disks each (RMW, reconstruction, and rebuild
+    /// traffic all stay inside the group).
     pub fn groups(&self) -> usize {
-        (self.shape.ds * self.shape.dr) as usize
+        match self.parity {
+            Some(p) => (self.shape.ds / p.group) as usize,
+            None => (self.shape.ds * self.shape.dr) as usize,
+        }
     }
 
-    /// The mirror group that owns a fragment. Group `g` owns exactly
-    /// disks `[g * Dm, (g + 1) * Dm)`; every replica, duplicate, retry,
-    /// and rebuild of the fragment stays on those disks.
+    /// Disks per group: `Dm` for mirror groups, `G` for parity groups.
+    /// Group `g` owns exactly disks `[g · w, (g + 1) · w)`.
+    pub fn disks_per_group(&self) -> usize {
+        match self.parity {
+            Some(p) => p.group as usize,
+            None => self.shape.dm as usize,
+        }
+    }
+
+    /// The group that owns a fragment. Every replica, duplicate, retry,
+    /// parity update, reconstruction read, and rebuild of the fragment
+    /// stays on that group's disks.
     pub fn group_of(&self, frag: Fragment) -> usize {
+        if self.parity.is_some() {
+            return self.parity_group_of(frag);
+        }
         let (column, row, _) = self.grid_of(frag.lbn / self.stripe_unit as u64);
         (column * self.shape.dr + row) as usize
     }
@@ -258,6 +335,40 @@ impl Layout {
                 lbn: cur,
                 sectors: len as u32,
             });
+            cur += len;
+        }
+    }
+
+    /// Plans a logical request into routed `(fragment, full_stripe)`
+    /// submissions. For parity-organization writes this is
+    /// [`Layout::parity_write_plan`] (aligned full-stripe runs collapse
+    /// into one flagged fragment); everywhere else it is exactly
+    /// [`Layout::fragments_into`] with the flag pinned `false`, so the
+    /// non-parity fragment stream is untouched.
+    pub fn plan_request(
+        &self,
+        write: bool,
+        lbn: u64,
+        sectors: u32,
+        out: &mut Vec<(Fragment, bool)>,
+    ) {
+        if write && self.parity.is_some() {
+            self.parity_write_plan(lbn, sectors, out);
+            return;
+        }
+        let u = self.stripe_unit as u64;
+        let mut cur = lbn;
+        let end = lbn + sectors as u64;
+        while cur < end {
+            let unit_end = (cur / u + 1) * u;
+            let len = unit_end.min(end) - cur;
+            out.push((
+                Fragment {
+                    lbn: cur,
+                    sectors: len as u32,
+                },
+                false,
+            ));
             cur += len;
         }
     }

@@ -49,6 +49,8 @@ pub use dqueue::{DriveQueue, TaskId};
 pub use engine::report::{FaultReport, PredictionStats, RunReport};
 pub use engine::{ArraySim, CacheConfig, EngineConfig, MirrorPolicy, WriteMode};
 pub use faults::{FailSlow, FailStop, FaultPlan, MediaErrors, RebuildConfig, RetryPolicy};
-pub use layout::{Fragment, Layout, LayoutError, Replica, ReplicaPlacement};
+pub use layout::{
+    Fragment, Layout, LayoutError, ParityConfig, ParityLoc, RaidLevel, Replica, ReplicaPlacement,
+};
 pub use sched::Policy;
 pub use tuner::{Advice, Advisor, WorkloadObserver, WorkloadProfile};

@@ -18,11 +18,13 @@
 pub mod components;
 pub mod latency;
 pub mod optimizer;
+pub mod reliability;
 pub mod throughput;
 
 pub use components::*;
 pub use latency::*;
 pub use optimizer::*;
+pub use reliability::*;
 pub use throughput::*;
 
 use mimd_disk::DiskParams;

@@ -1,0 +1,108 @@
+//! Analytic MTTDL (mean time to data loss) across array organizations.
+//!
+//! The standard Markov approximations for independent, exponentially
+//! distributed disk lifetimes (MTTF per disk) and repair times (MTTR),
+//! with MTTR ≪ MTTF:
+//!
+//! - **Unprotected** (striping, SR-Array without mirrors): any failure
+//!   among the `N` disks loses data, `MTTDL = MTTF / N`.
+//! - **Mirrored** (`Dm = 2`, RAID 1/10): data is lost when a disk's
+//!   mirror partner dies during its repair window,
+//!   `MTTDL = MTTF² / (N · MTTR)`.
+//! - **Parity group** (RAID 4/5, group size `G`): a group dies when a
+//!   second member fails during the first member's repair,
+//!   `MTTDL_group = MTTF² / (G·(G−1)·MTTR)`; an array of `n` independent
+//!   groups divides that by `n`.
+//!
+//! These are the classical formulas from the RAID literature (see e.g.
+//! the surveys at arXiv:1510.04868 and arXiv:1801.08873); they quantify
+//! the capacity/performance/reliability triangle the `fig_raid` sweep
+//! measures the performance corner of.
+
+/// Mean time to data loss of an unprotected `n`-disk array (hours), given
+/// a per-disk MTTF in hours.
+pub fn mttdl_unprotected(mttf_h: f64, n: u32) -> f64 {
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    mttf_h / n as f64
+}
+
+/// Mean time to data loss of a mirrored array: `n` total disks in `n/2`
+/// mirror pairs, each repairing in `mttr_h` hours.
+pub fn mttdl_mirrored(mttf_h: f64, mttr_h: f64, n: u32) -> f64 {
+    if n == 0 || mttr_h <= 0.0 {
+        return f64::INFINITY;
+    }
+    mttf_h * mttf_h / (n as f64 * mttr_h)
+}
+
+/// Mean time to data loss of one RAID 4/5 parity group of `g` disks.
+pub fn mttdl_parity_group(mttf_h: f64, mttr_h: f64, g: u32) -> f64 {
+    if g < 2 || mttr_h <= 0.0 {
+        return f64::INFINITY;
+    }
+    mttf_h * mttf_h / (g as f64 * (g as f64 - 1.0) * mttr_h)
+}
+
+/// Mean time to data loss of a RAID 4/5 array of `groups` independent
+/// parity groups, `g` disks each.
+pub fn mttdl_parity_array(mttf_h: f64, mttr_h: f64, g: u32, groups: u32) -> f64 {
+    if groups == 0 {
+        return f64::INFINITY;
+    }
+    mttdl_parity_group(mttf_h, mttr_h, g) / groups as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MTTF: f64 = 500_000.0; // a typical spec-sheet disk MTTF (hours)
+    const MTTR: f64 = 24.0;
+
+    #[test]
+    fn unprotected_divides_by_population() {
+        assert!((mttdl_unprotected(MTTF, 8) - MTTF / 8.0).abs() < 1e-9);
+        assert_eq!(mttdl_unprotected(MTTF, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mirroring_buys_orders_of_magnitude() {
+        let plain = mttdl_unprotected(MTTF, 8);
+        let mirrored = mttdl_mirrored(MTTF, MTTR, 8);
+        // MTTF/MTTR ≈ 2×10⁴, so the protected array survives ~10⁴× longer.
+        assert!(mirrored / plain > 1e3);
+        assert!((mirrored - MTTF * MTTF / (8.0 * MTTR)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parity_sits_between_plain_and_mirrored() {
+        // 8 disks: RAID 5 with G=4 in two groups loses to RAID 10 by the
+        // G−1 survivor-exposure factor but crushes plain striping.
+        let plain = mttdl_unprotected(MTTF, 8);
+        let raid5 = mttdl_parity_array(MTTF, MTTR, 4, 2);
+        let raid10 = mttdl_mirrored(MTTF, MTTR, 8);
+        assert!(raid5 > plain * 100.0);
+        assert!(raid10 > raid5);
+        // Exact: MTTF²/(4·3·MTTR)/2 groups.
+        assert!((raid5 - MTTF * MTTF / (4.0 * 3.0 * MTTR * 2.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wider_groups_trade_capacity_for_reliability() {
+        // One G=8 group stores more (7/8 vs 6/8 data) but dies sooner
+        // than two G=4 groups.
+        let wide = mttdl_parity_array(MTTF, MTTR, 8, 1);
+        let narrow = mttdl_parity_array(MTTF, MTTR, 4, 2);
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_infinite() {
+        assert_eq!(mttdl_parity_group(MTTF, MTTR, 1), f64::INFINITY);
+        assert_eq!(mttdl_parity_group(MTTF, 0.0, 4), f64::INFINITY);
+        assert_eq!(mttdl_parity_array(MTTF, MTTR, 4, 0), f64::INFINITY);
+        assert_eq!(mttdl_mirrored(MTTF, 0.0, 8), f64::INFINITY);
+    }
+}

@@ -1,0 +1,170 @@
+//! Properties of the parity RAID (4/5) organizations.
+//!
+//! The guarantees the reliability story rests on:
+//!
+//! 1. **Value-neutrality** — a config that never mentions parity takes
+//!    the pre-parity code path exactly: no parity counter moves and the
+//!    run replays bit-identically. (Cross-build neutrality — the same
+//!    bytes as a build that predates parity — is pinned by the fig06
+//!    golden-md5 gate in CI.)
+//! 2. **Degraded service** — after a fail-stop with no spare, every
+//!    request still completes: reads reconstruct from the `G−1`
+//!    survivors, writes fall back to peer-read parity updates, and
+//!    nothing is unrecoverable.
+//! 3. **Recovery** — a hot-spare rebuild reconstructs every chunk from
+//!    the survivors and returns the array to healthy-window service
+//!    times.
+//!
+//! Plus the failure edge the MTTDL formulas price: a second failure in
+//! the same parity group is data loss, and the engine reports it as
+//! failed requests rather than wedging.
+
+use mimd_core::{ArraySim, EngineConfig, FaultPlan, ParityConfig, RunReport, Shape};
+use mimd_sim::{SimDuration, SimTime};
+use mimd_workload::{SyntheticSpec, Trace};
+
+fn trace() -> Trace {
+    SyntheticSpec::cello_base().generate(77, 1_500)
+}
+
+/// A small data set at a modest rate, so the idle-throttled
+/// reconstruction finishes well inside the run (same recipe as the
+/// hot-spare tests in `fault_properties`).
+fn rebuild_friendly_trace() -> Trace {
+    let mut spec = SyntheticSpec::cello_base();
+    spec.data_sectors = 200_000;
+    spec.rate_per_sec = 25.0;
+    spec.generate(5, 2_500)
+}
+
+fn run(cfg: EngineConfig, t: &Trace) -> RunReport {
+    let mut sim = ArraySim::new(cfg, t.data_sectors).expect("fits");
+    sim.run_trace(t)
+}
+
+fn raid5(group: u32) -> EngineConfig {
+    EngineConfig::new(Shape::striping(8)).with_parity(ParityConfig::raid5(group))
+}
+
+#[test]
+fn parity_free_configs_never_touch_parity_state() {
+    let t = trace();
+    for shape in [
+        Shape::striping(4),
+        Shape::mirror(2),
+        Shape::sr_array(2, 3).expect("valid"),
+    ] {
+        let a = run(EngineConfig::new(shape), &t);
+        let f = &a.faults;
+        assert_eq!(
+            (f.degraded_reads, f.rmw_updates, f.reconstruction_chunks),
+            (0, 0, 0),
+            "shape {shape}: no parity counter may move without a parity config"
+        );
+        // And the run replays bit-exactly — the parity branch in the
+        // submit path must be a pure predicate, not a state change.
+        let b = run(EngineConfig::new(shape), &t);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "shape {shape}");
+    }
+}
+
+#[test]
+fn healthy_parity_arrays_pay_rmw_but_fail_nothing() {
+    let t = trace();
+    for (label, cfg) in [
+        ("raid5", raid5(4)),
+        (
+            "raid4",
+            EngineConfig::new(Shape::striping(8)).with_parity(ParityConfig::raid4(4)),
+        ),
+    ] {
+        let r = run(cfg, &t);
+        assert_eq!(r.completed, t.len() as u64, "{label}");
+        assert_eq!(r.failed_requests, 0, "{label}");
+        assert_eq!(r.faults.degraded_reads, 0, "{label}: healthy array");
+        assert!(
+            r.faults.rmw_updates > 0,
+            "{label}: small writes must take the read-modify-write path"
+        );
+    }
+}
+
+#[test]
+fn degraded_reads_complete_every_request_with_zero_unrecoverable() {
+    let t = trace();
+    let plan = FaultPlan::new().fail_stop(0, SimTime::from_secs(5));
+    let r = run(raid5(4).with_faults(plan), &t);
+    assert_eq!(r.completed, t.len() as u64, "every request completes");
+    assert_eq!(r.failed_requests, 0, "G−1 survivors cover every read");
+    assert_eq!(r.faults.unrecoverable, 0);
+    assert!(
+        r.faults.degraded_reads > 0,
+        "reads of the dead disk must reconstruct from survivors"
+    );
+    assert!(
+        !r.faults.degraded_ms.is_empty(),
+        "post-failure completions are classified degraded"
+    );
+}
+
+#[test]
+fn parity_rebuild_restores_healthy_window_response_times() {
+    let t = rebuild_friendly_trace();
+    let plan = FaultPlan::new()
+        .fail_stop_with_spare(0, SimTime::from_secs(10))
+        .rebuild(SimDuration::from_secs(1), 2_048);
+    let mut sim = ArraySim::new(raid5(4).with_faults(plan), t.data_sectors).expect("fits");
+    let r = sim.run_trace(&t);
+    assert_eq!(r.completed, t.len() as u64);
+    assert_eq!(r.failed_requests, 0);
+    assert_eq!(r.faults.rebuilds_completed, 1, "reconstruction must finish");
+    assert!(
+        r.faults.reconstruction_chunks > 0,
+        "rebuild chunks are XOR reconstructions, not mirror copies"
+    );
+    assert!(!sim.disk_is_dead(0), "the spare returns disk 0 to service");
+    assert!(
+        !r.faults.rebuilding_ms.is_empty(),
+        "completions during reconstruction are classified rebuilding"
+    );
+    assert!(
+        !r.faults.healthy_ms.is_empty(),
+        "completions after restoration are classified healthy again"
+    );
+    // Once the spare holds the reconstructed data, the single-leg read
+    // path comes back: the healthy windows (before the failure and after
+    // the rebuild) must service like a run that never saw a fault. The
+    // margin absorbs the queue backlog drained right after restoration.
+    let bare = run(raid5(4), &t);
+    let healthy = r.faults.healthy_ms.mean();
+    assert!(
+        healthy < bare.mean_response_ms() * 1.5,
+        "healthy-window mean ({healthy:.2} ms) must track the fault-free mean ({:.2} ms)",
+        bare.mean_response_ms()
+    );
+}
+
+#[test]
+fn second_failure_in_a_group_is_data_loss_not_a_wedge() {
+    let t = trace();
+    // Disks 0 and 1 are both members of RAID group 0 at G=4.
+    let plan = FaultPlan::new()
+        .fail_stop(0, SimTime::from_secs(5))
+        .fail_stop(1, SimTime::from_secs(10));
+    let r = run(raid5(4).with_faults(plan), &t);
+    assert_eq!(
+        r.completed,
+        t.len() as u64,
+        "every request must still resolve (some as failures)"
+    );
+    assert!(
+        r.failed_requests > 0,
+        "two dead members of one group exceed single-parity protection"
+    );
+    // The untouched group (disks 4..8) keeps serving; failures cannot be
+    // total.
+    assert!(
+        r.failed_requests < t.len() as u64,
+        "the independent second group keeps serving"
+    );
+}

@@ -8,7 +8,7 @@
 //! runs, across randomized shapes/workloads and through a faulted
 //! hot-spare rebuild running alongside cross-group traffic.
 
-use mimd_core::{ArraySim, EngineConfig, FaultPlan, Shape};
+use mimd_core::{ArraySim, EngineConfig, FaultPlan, ParityConfig, Shape};
 use mimd_sim::check::check_cases;
 use mimd_sim::SimTime;
 use mimd_workload::{SyntheticSpec, Trace};
@@ -105,4 +105,41 @@ fn faulted_hot_spare_rebuild_is_identical_at_any_worker_count() {
     assert!(!sim.disk_is_dead(1), "spare restored the disk");
 
     assert_equivalent(&cfg, &trace, "hot-spare rebuild");
+}
+
+#[test]
+fn raid5_pop_stream_equals_serial() {
+    // Two parity groups of G=4 over eight disks: small-write RMW fan-out
+    // and full-stripe writes cross shard boundaries only through the
+    // conductor, so the pop stream must be worker-count-invariant just
+    // like the mirrored shapes.
+    let trace = SyntheticSpec::cello_base().generate(4242, 1_200);
+    let cfg = EngineConfig::new(Shape::striping(8)).with_parity(ParityConfig::raid5(4));
+    assert_equivalent(&cfg, &trace, "raid5 healthy");
+}
+
+#[test]
+fn raid5_degraded_rebuild_is_identical_at_any_worker_count() {
+    // A dead member of group 0 plus a hot-spare reconstruction riding the
+    // delayed queues, while foreground traffic keeps hitting both groups:
+    // degraded-read fan-out, two-phase RMW replanning, and the
+    // reads_left countdown all have to merge deterministically.
+    let mut spec = SyntheticSpec::cello_base();
+    spec.data_sectors = 200_000;
+    spec.rate_per_sec = 25.0;
+    let trace = spec.generate(99, 1_800);
+    let plan = FaultPlan::new()
+        .fail_stop_with_spare(1, SimTime::from_secs(8))
+        .rebuild(mimd_sim::SimDuration::from_secs(1), 2_048);
+    let cfg = EngineConfig::new(Shape::striping(8))
+        .with_parity(ParityConfig::raid5(4))
+        .with_faults(plan);
+
+    // The scenario must actually exercise the parity rebuild machinery.
+    let mut sim = ArraySim::new(cfg.clone(), trace.data_sectors).expect("fits");
+    let report = sim.run_trace(&trace);
+    assert_eq!(report.faults.rebuilds_completed, 1, "rebuild must finish");
+    assert!(report.faults.reconstruction_chunks > 0);
+
+    assert_equivalent(&cfg, &trace, "raid5 degraded rebuild");
 }

@@ -504,6 +504,9 @@ fn encode_report(report: &RunReport, out: &mut Vec<u8>) {
     put_u64(out, f.rebuild_chunks);
     put_u64(out, f.rebuilds_completed);
     put_u64(out, f.rebuild_duration.as_nanos());
+    put_u64(out, f.degraded_reads);
+    put_u64(out, f.rmw_updates);
+    put_u64(out, f.reconstruction_chunks);
     put_samples(out, &f.healthy_ms);
     put_samples(out, &f.degraded_ms);
     put_samples(out, &f.rebuilding_ms);
@@ -545,6 +548,9 @@ fn decode_report(r: &mut Reader<'_>) -> Option<RunReport> {
     report.faults.rebuild_chunks = r.u64()?;
     report.faults.rebuilds_completed = r.u64()?;
     report.faults.rebuild_duration = SimDuration::from_nanos(r.u64()?);
+    report.faults.degraded_reads = r.u64()?;
+    report.faults.rmw_updates = r.u64()?;
+    report.faults.reconstruction_chunks = r.u64()?;
     report.faults.healthy_ms = get_samples(r)?;
     report.faults.degraded_ms = get_samples(r)?;
     report.faults.rebuilding_ms = get_samples(r)?;

@@ -14,7 +14,7 @@
 //! accidental-collision odds across a few thousand grid cells is far
 //! below the noise floor of everything else.
 
-use mimd_core::{EngineConfig, MirrorPolicy, Policy, ReplicaPlacement, WriteMode};
+use mimd_core::{EngineConfig, MirrorPolicy, Policy, RaidLevel, ReplicaPlacement, WriteMode};
 use mimd_disk::{PositionKnowledge, TimingPath};
 use mimd_workload::{Access, IometerSpec, Op, RequestSource, SyntheticSpec, Trace};
 
@@ -172,6 +172,19 @@ pub fn write_config(fp: &mut Fp, cfg: &EngineConfig) {
     fp.write_u64(f.redirect as u64);
     fp.write_u64(f.rebuild.spare_delay.as_nanos());
     fp.write_u64(f.rebuild.chunk_sectors as u64);
+    // The parity organization likewise changes what a run means; `None`
+    // keeps the stream identical to pre-parity builds.
+    match cfg.parity {
+        None => fp.write_u64(0),
+        Some(p) => {
+            fp.write_u64(1);
+            fp.write_u64(match p.level {
+                RaidLevel::Raid4 => 4,
+                RaidLevel::Raid5 => 5,
+            });
+            fp.write_u64(p.group as u64);
+        }
+    }
 }
 
 /// Absorbs a request stream by content: name, data-set size, and every

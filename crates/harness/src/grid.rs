@@ -323,6 +323,21 @@ pub fn report_json(r: &mut RunReport) -> Json {
         ]);
         j.push_field("faults", faults);
     }
+    // Parity (RAID 4/5) counters appear only when a parity path actually
+    // ran — healthy RMWs tally here even with an empty fault plan, and
+    // non-parity output stays byte-identical to pre-parity builds.
+    let pf = &r.faults;
+    if pf.degraded_reads + pf.rmw_updates + pf.reconstruction_chunks > 0 {
+        let parity = Json::object([
+            ("degraded_reads", Json::from(pf.degraded_reads)),
+            ("rmw_updates", Json::from(pf.rmw_updates)),
+            (
+                "reconstruction_chunks",
+                Json::from(pf.reconstruction_chunks),
+            ),
+        ]);
+        j.push_field("parity", parity);
+    }
     // The determinism witness is opt-in (MIMD_WITNESS_JSON=1): the golden
     // md5 sums over figure JSON predate the field, so emitting it by
     // default would change every gated byte stream. The CI witness gate

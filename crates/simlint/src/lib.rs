@@ -241,7 +241,13 @@ impl Scope {
             panic: rel.starts_with("crates/core/src/engine/") || in_src_of("diskmodel"),
             parallelism: sim_crate,
             cache_hygiene: in_src_of("bench") || in_src_of("harness"),
-            fault_determinism: rel == "crates/core/src/faults.rs",
+            // The fault layer plus the parity modules: degraded reads,
+            // RMW planning, and reconstruction must draw no RNG of their
+            // own — all fault randomness comes from the one named stream
+            // in faults.rs.
+            fault_determinism: rel == "crates/core/src/faults.rs"
+                || rel == "crates/core/src/layout/parity.rs"
+                || rel == "crates/core/src/engine/shard/parity.rs",
             shared_mutability: sim_crate,
             float_order: sim_crate,
             // Workspace-wide: a SimRng exists only to feed sim code. The
@@ -483,6 +489,9 @@ mod tests {
         assert!(faults.fault_determinism && faults.determinism && faults.collections);
         assert!(!Scope::for_path("crates/core/src/engine/mod.rs").fault_determinism);
         assert!(!Scope::for_path("crates/simcore/src/rng.rs").fault_determinism);
+        // The parity modules carry the same no-local-RNG obligation.
+        assert!(Scope::for_path("crates/core/src/layout/parity.rs").fault_determinism);
+        assert!(Scope::for_path("crates/core/src/engine/shard/parity.rs").fault_determinism);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! mimdraid stats     --trace t.trace
 //! mimdraid simulate  --shape 2x3x1 --trace t.trace [--scale 2] [--policy rsatf]
 //! mimdraid simulate  --shape 2x3x1 --workload cello-base --requests 5000
+//! mimdraid simulate  --shape 8x1x1 --raid 5 --group 4 --workload tpcc \
+//!                    --fail 0@30 --recover 0@60
+//! mimdraid mttdl     --disks 8 [--group 4] [--mttf 500000] [--mttr 24]
 //! ```
 
 use std::fs::File;
@@ -13,10 +16,12 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use mimdraid::core::models::{
-    best_rw_latency, recommend_latency_shape, recommend_throughput_shape, DiskCharacter,
+    best_rw_latency, mttdl_mirrored, mttdl_parity_array, mttdl_unprotected,
+    recommend_latency_shape, recommend_throughput_shape, DiskCharacter,
 };
-use mimdraid::core::{ArraySim, EngineConfig, Policy, Shape, WriteMode};
+use mimdraid::core::{ArraySim, EngineConfig, FaultPlan, ParityConfig, Policy, Shape, WriteMode};
 use mimdraid::disk::DiskParams;
+use mimdraid::sim::{SimDuration, SimTime};
 use mimdraid::workload::io::{read_trace, write_trace};
 use mimdraid::workload::{SyntheticSpec, Trace, TraceStats};
 
@@ -26,7 +31,10 @@ fn usage() -> ExitCode {
          mimdraid generate --workload <cello-base|cello-disk6|tpcc> --requests N --out FILE [--seed S]\n  \
          mimdraid stats --trace FILE\n  \
          mimdraid simulate --shape DSxDRxDM (--trace FILE | --workload NAME [--requests N])\n            \
-         [--scale X] [--policy fcfs|look|satf|rlook|rsatf] [--write-mode fg|bg] [--seed S]"
+         [--scale X] [--policy fcfs|look|satf|rlook|rsatf] [--write-mode fg|bg] [--seed S]\n            \
+         [--raid 4|5 --group G] [--fail D@SECS]... [--recover D@SECS]...\n            \
+         [--rebuild-delay SECS] [--rebuild-chunk SECTORS]\n  \
+         mimdraid mttdl --disks N [--group G] [--mttf HOURS] [--mttr HOURS]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +63,13 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
+    fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.flags
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
         match self.get(key) {
             None => Ok(None),
@@ -75,6 +90,56 @@ fn parse_shape(s: &str) -> Option<Shape> {
         [ds, dr, dm] => Shape::new(*ds, *dr, *dm),
         [ds, dr] => Shape::new(*ds, *dr, 1),
         _ => None,
+    }
+}
+
+/// Parses a `DISK@SECONDS` fault spec, e.g. `0@30` or `2@45.5`.
+fn parse_fault(spec: &str) -> Result<(usize, SimTime), String> {
+    let (d, t) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("bad fault spec {spec:?}; expected DISK@SECONDS"))?;
+    let disk = d
+        .parse()
+        .map_err(|_| format!("bad disk index in {spec:?}"))?;
+    let secs: f64 = t.parse().map_err(|_| format!("bad time in {spec:?}"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad time in {spec:?}"));
+    }
+    Ok((disk, SimTime::from_secs_f64(secs)))
+}
+
+/// Builds the fault plan from repeated `--fail` / `--recover` flags.
+/// `--fail` is a plain fail-stop; `--recover` is a fail-stop that gets a
+/// hot spare, so the array rebuilds onto it (mirror copy or parity
+/// reconstruction) and recovers its healthy service times.
+fn fault_plan(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for spec in args.get_all("fail") {
+        let (disk, at) = parse_fault(spec)?;
+        plan = plan.fail_stop(disk, at);
+    }
+    for spec in args.get_all("recover") {
+        let (disk, at) = parse_fault(spec)?;
+        plan = plan.fail_stop_with_spare(disk, at);
+    }
+    let delay: f64 = args.get_parsed("rebuild-delay")?.unwrap_or(1.0);
+    let chunk: u32 = args.get_parsed("rebuild-chunk")?.unwrap_or(2048);
+    plan = plan.rebuild(SimDuration::from_secs_f64(delay), chunk);
+    Ok(plan)
+}
+
+fn parity_config(args: &Args) -> Result<Option<ParityConfig>, String> {
+    let Some(level) = args.get("raid") else {
+        if args.get("group").is_some() {
+            return Err("--group requires --raid 4|5".into());
+        }
+        return Ok(None);
+    };
+    let group: u32 = args.get_parsed("group")?.unwrap_or(4);
+    match level {
+        "4" => Ok(Some(ParityConfig::raid4(group))),
+        "5" => Ok(Some(ParityConfig::raid5(group))),
+        other => Err(format!("unknown RAID level {other:?}; expected 4 or 5")),
     }
 }
 
@@ -179,6 +244,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if let Some(seed) = args.get_parsed("seed")? {
         cfg.seed = seed;
     }
+    if let Some(parity) = parity_config(args)? {
+        cfg = cfg.with_parity(parity);
+    }
+    let plan = fault_plan(args)?;
+    plan.validate(shape.disks() as usize)
+        .map_err(|e| format!("fault plan: {e}"))?;
+    cfg = cfg.with_faults(plan);
     let mut sim = ArraySim::new(cfg, trace.data_sectors).map_err(|e| format!("layout: {e}"))?;
     let mut r = sim.run_trace(&trace);
     println!(
@@ -200,6 +272,53 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     if r.failed_requests > 0 {
         println!("  FAILED requests {}", r.failed_requests);
     }
+    let f = &r.faults;
+    if f.degraded_reads + f.rmw_updates + f.reconstruction_chunks > 0 {
+        println!(
+            "  parity          {} degraded reads, {} RMW updates, {} chunks reconstructed",
+            f.degraded_reads, f.rmw_updates, f.reconstruction_chunks
+        );
+    }
+    if f.rebuilds_completed > 0 {
+        println!("  rebuilds        {} completed", f.rebuilds_completed);
+    }
+    Ok(())
+}
+
+fn cmd_mttdl(args: &Args) -> Result<(), String> {
+    let disks: u32 = args.get_parsed("disks")?.ok_or("--disks is required")?;
+    let group: u32 = args.get_parsed("group")?.unwrap_or(4);
+    let mttf: f64 = args.get_parsed("mttf")?.unwrap_or(500_000.0);
+    let mttr: f64 = args.get_parsed("mttr")?.unwrap_or(24.0);
+    if disks == 0 {
+        return Err("--disks must be positive".into());
+    }
+    if group < 2 || !disks.is_multiple_of(group) {
+        return Err(format!(
+            "--group {group} must be >= 2 and divide --disks {disks}"
+        ));
+    }
+    let years = |h: f64| h / (24.0 * 365.25);
+    println!("MTTDL for {disks} disks (MTTF {mttf:.0} h, MTTR {mttr:.0} h):");
+    let plain = mttdl_unprotected(mttf, disks);
+    println!(
+        "  unprotected (striping/SR-array)  {plain:.3e} h  ({:.1} y, 100% data capacity)",
+        years(plain)
+    );
+    if disks.is_multiple_of(2) {
+        let m = mttdl_mirrored(mttf, mttr, disks);
+        println!(
+            "  mirrored (Dm=2, RAID 10)         {m:.3e} h  ({:.1} y, 50% data capacity)",
+            years(m)
+        );
+    }
+    let p = mttdl_parity_array(mttf, mttr, group, disks / group);
+    println!(
+        "  RAID 4/5, {} groups of G={group}        {p:.3e} h  ({:.1} y, {:.0}% data capacity)",
+        disks / group,
+        years(p),
+        (group - 1) as f64 / group as f64 * 100.0
+    );
     Ok(())
 }
 
@@ -222,6 +341,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
         "simulate" => cmd_simulate(&args),
+        "mttdl" => cmd_mttdl(&args),
         _ => return usage(),
     };
     match result {
